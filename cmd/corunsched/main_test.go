@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestBuildBatch(t *testing.T) {
+	b, err := buildBatch("", 8)
+	if err != nil || len(b) != 8 {
+		t.Fatalf("batch 8: %v %d", err, len(b))
+	}
+	b, err = buildBatch("", 16)
+	if err != nil || len(b) != 16 {
+		t.Fatalf("batch 16: %v %d", err, len(b))
+	}
+	if _, err := buildBatch("", 5); err == nil {
+		t.Error("batch 5 accepted")
+	}
+	b, err = buildBatch("lud,dwt2d", 8)
+	if err != nil || len(b) != 2 || b[0].Label != "lud" {
+		t.Fatalf("jobs override: %v %v", err, b)
+	}
+	if _, err := buildBatch("bogus", 8); err == nil {
+		t.Error("unknown job accepted")
+	}
+}

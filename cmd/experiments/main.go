@@ -1,0 +1,228 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (section VI) on the simulated platform, plus the
+// extension studies (energy, kernel splitting, robustness).
+//
+// Usage:
+//
+//	experiments [-json|-md] [-csv] [fig2|example3|fig5|fig6|fig7|fig8|
+//	             fig9|table1|fig10|fig11|overhead|ablations|energy|split|
+//	             robustness|fairness|sensitivity|scalability|capenforce|
+//	             cluster|fig7cal|online|all]
+//
+// With no argument (or "all") it runs the whole evaluation in paper
+// order. -json emits machine-readable results (one JSON object per
+// experiment); fig9 additionally accepts -csv to dump the raw power
+// traces.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"corun/internal/exp"
+)
+
+type experiment struct {
+	name string
+	// run produces the result value (for -json) and a text renderer.
+	run func(suite *exp.Suite) (any, func(io.Writer) error, error)
+}
+
+func experimentTable(csv bool) []experiment {
+	return []experiment{
+		{"fig2", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Figure2()
+			return r, writerOf(r, err), err
+		}},
+		{"example3", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Example3()
+			return r, writerOf(r, err), err
+		}},
+		{"fig5", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Figures5And6()
+			return r, writerOf(r, err), err
+		}},
+		{"fig6", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Figures5And6()
+			return r, writerOf(r, err), err
+		}},
+		{"fig7", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Figure7()
+			if err != nil {
+				return nil, nil, err
+			}
+			return r, func(w io.Writer) error {
+				if err := r.WriteText(w); err != nil {
+					return err
+				}
+				fmt.Fprintln(w, "worst-predicted pairs (high setting):")
+				return r.High.WriteWorst(w, 5)
+			}, nil
+		}},
+		{"fig8", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Figure8()
+			return r, writerOf(r, err), err
+		}},
+		{"fig9", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Figure9()
+			if err != nil {
+				return nil, nil, err
+			}
+			if csv {
+				return r, r.WriteCSV, nil
+			}
+			return r, r.WriteText, nil
+		}},
+		{"table1", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.TableI()
+			return r, writerOf(r, err), err
+		}},
+		{"fig10", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Figure10()
+			return r, writerOf(r, err), err
+		}},
+		{"fig11", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Figure11()
+			return r, writerOf(r, err), err
+		}},
+		{"overhead", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Overhead()
+			return r, writerOf(r, err), err
+		}},
+		{"ablations", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Ablations()
+			return r, writerOf(r, err), err
+		}},
+		{"energy", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Energy()
+			return r, writerOf(r, err), err
+		}},
+		{"split", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Split()
+			return r, writerOf(r, err), err
+		}},
+		{"robustness", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Robustness(10, 5)
+			return r, writerOf(r, err), err
+		}},
+		{"fairness", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Fairness()
+			return r, writerOf(r, err), err
+		}},
+		{"sensitivity", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Sensitivity()
+			return r, writerOf(r, err), err
+		}},
+		{"scalability", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Scalability(nil, 5)
+			return r, writerOf(r, err), err
+		}},
+		{"capenforce", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.CapEnforcement()
+			return r, writerOf(r, err), err
+		}},
+		{"cluster", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Cluster()
+			return r, writerOf(r, err), err
+		}},
+		{"fig7cal", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Figure7Calibrated()
+			return r, writerOf(r, err), err
+		}},
+		{"online", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.Online()
+			return r, writerOf(r, err), err
+		}},
+	}
+}
+
+// textWriter is any experiment result with a text renderer.
+type textWriter interface{ WriteText(io.Writer) error }
+
+func writerOf(r textWriter, err error) func(io.Writer) error {
+	if err != nil {
+		return nil
+	}
+	return r.WriteText
+}
+
+func main() {
+	csv := flag.Bool("csv", false, "for fig9: dump raw power-trace CSV instead of the summary")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	md := flag.Bool("md", false, "emit a self-contained Markdown report")
+	flag.Usage = usage
+	flag.Parse()
+
+	what := "all"
+	if flag.NArg() > 0 {
+		what = strings.ToLower(flag.Arg(0))
+	}
+
+	suite, err := exp.NewSuite()
+	if err != nil {
+		fatal(err)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	if *md {
+		fmt.Println("# Evaluation report")
+		fmt.Println()
+		fmt.Println("Generated by `experiments -md`; see EXPERIMENTS.md for the")
+		fmt.Println("paper-vs-measured analysis of each artifact.")
+	}
+
+	ran := false
+	seen := map[string]bool{}
+	for _, e := range experimentTable(*csv) {
+		if what != "all" && what != e.name {
+			continue
+		}
+		if seen[e.name] {
+			continue
+		}
+		seen[e.name] = true
+		ran = true
+		result, text, err := e.run(suite)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			if err := enc.Encode(map[string]any{"experiment": e.name, "result": result}); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		if *md {
+			fmt.Printf("\n## %s\n\n```\n", e.name)
+			if err := text(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println("```")
+			continue
+		}
+		fmt.Printf("== %s ==\n", e.name)
+		if err := text(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: experiments [-json|-md] [-csv] [fig2|example3|fig5|fig6|fig7|fig8|fig9|table1|fig10|fig11|overhead|ablations|energy|split|robustness|fairness|sensitivity|scalability|capenforce|cluster|fig7cal|online|all]")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

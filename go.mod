@@ -1,0 +1,3 @@
+module corun
+
+go 1.22

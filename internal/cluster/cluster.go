@@ -1,0 +1,203 @@
+// Package cluster scales the co-scheduling runtime from one APU node to
+// a fleet: arriving jobs are balanced across nodes, and each node runs
+// the online epoch scheduler (package online) under its own power cap.
+//
+// The paper motivates job co-scheduling as "a cheap (virtually free)
+// way to significantly improve system throughput for shared servers,
+// workstation clusters, and data centers"; this package is the cluster
+// piece of that story. It also exposes the interaction between
+// balancing and co-scheduling: a balancer that spreads complementary
+// jobs apart starves each node's co-run pairing opportunities, so the
+// affinity-aware policy groups CPU- and GPU-preferred work.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"corun/internal/apu"
+	"corun/internal/memsys"
+	"corun/internal/model"
+	"corun/internal/online"
+	"corun/internal/units"
+)
+
+// Balancer selects the node for each arriving job.
+type Balancer int
+
+// Balancing policies.
+const (
+	// RoundRobin assigns arrivals to nodes cyclically.
+	RoundRobin Balancer = iota
+	// LeastLoaded assigns each arrival to the node with the least
+	// pending work (sum of queued jobs' best solo times, estimated at
+	// max frequency).
+	LeastLoaded
+	// AffinityAware is LeastLoaded with a tiebreak that balances each
+	// node's mix of CPU- and GPU-preferred jobs, preserving co-run
+	// pairing opportunities.
+	AffinityAware
+)
+
+// String implements fmt.Stringer.
+func (b Balancer) String() string {
+	switch b {
+	case RoundRobin:
+		return "round-robin"
+	case LeastLoaded:
+		return "least-loaded"
+	case AffinityAware:
+		return "affinity-aware"
+	default:
+		return fmt.Sprintf("Balancer(%d)", int(b))
+	}
+}
+
+// Options configures a cluster run.
+type Options struct {
+	Cfg  *apu.Config
+	Mem  *memsys.Model
+	Char *model.Characterization
+
+	// Nodes is the fleet size.
+	Nodes int
+	// CapPerNode is each node's package power cap.
+	CapPerNode units.Watts
+	// Balancer picks the placement policy.
+	Balancer Balancer
+	// Policy is each node's epoch scheduling policy.
+	Policy online.Policy
+	// Seed drives stochastic components.
+	Seed int64
+}
+
+// NodeResult is one node's served outcome.
+type NodeResult struct {
+	Node   int
+	Jobs   int
+	Result *online.Result
+}
+
+// Result summarizes a cluster run.
+type Result struct {
+	PerNode []NodeResult
+	// Done is when the last node finished.
+	Done units.Seconds
+	// MeanResponse averages over all jobs in the cluster.
+	MeanResponse units.Seconds
+	// TotalEnergyJ sums node energies.
+	TotalEnergyJ float64
+	// Imbalance is (max node finish - min node finish) / max: 0 is a
+	// perfectly balanced fleet.
+	Imbalance float64
+}
+
+// Serve balances the arrival stream across the fleet and serves each
+// node's share with the online scheduler.
+func Serve(opts Options, arrivals []online.Arrival) (*Result, error) {
+	if opts.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", opts.Nodes)
+	}
+	if opts.Cfg == nil || opts.Mem == nil {
+		return nil, fmt.Errorf("cluster: nil machine or memory model")
+	}
+	perNode := make([][]online.Arrival, opts.Nodes)
+	loads := make([]float64, opts.Nodes)
+	prefBias := make([]float64, opts.Nodes) // >0: GPU-heavy backlog
+
+	sorted := append([]online.Arrival(nil), arrivals...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+
+	cmax := opts.Cfg.MaxFreqIndex(apu.CPU)
+	gmax := opts.Cfg.MaxFreqIndex(apu.GPU)
+	for i, a := range sorted {
+		node := 0
+		switch opts.Balancer {
+		case RoundRobin:
+			node = i % opts.Nodes
+		case LeastLoaded, AffinityAware:
+			for n := 1; n < opts.Nodes; n++ {
+				if loads[n] < loads[node] {
+					node = n
+				}
+			}
+			if opts.Balancer == AffinityAware {
+				// Among nodes within 10% of the lightest load, pick
+				// the one whose backlog mix this job balances best.
+				tc := float64(a.Prog.StandaloneTime(apu.CPU, opts.Cfg.Freq(apu.CPU, cmax), opts.Mem, a.Scale))
+				tg := float64(a.Prog.StandaloneTime(apu.GPU, opts.Cfg.Freq(apu.GPU, gmax), opts.Mem, a.Scale))
+				jobBias := 1.0 // GPU-preferred
+				if tc < tg {
+					jobBias = -1
+				}
+				bestScore := clusterScore(loads[node], loads[node], prefBias[node], jobBias)
+				for n := 0; n < opts.Nodes; n++ {
+					if loads[n] > loads[node]*1.1+1 {
+						continue
+					}
+					if sc := clusterScore(loads[n], loads[node], prefBias[n], jobBias); sc < bestScore {
+						bestScore, node = sc, n
+					}
+				}
+				prefBias[node] += jobBias
+			}
+		default:
+			return nil, fmt.Errorf("cluster: unknown balancer %v", opts.Balancer)
+		}
+		perNode[node] = append(perNode[node], a)
+		// Load estimate: the job's best solo time at max frequency.
+		tc := float64(a.Prog.StandaloneTime(apu.CPU, opts.Cfg.Freq(apu.CPU, cmax), opts.Mem, a.Scale))
+		tg := float64(a.Prog.StandaloneTime(apu.GPU, opts.Cfg.Freq(apu.GPU, gmax), opts.Mem, a.Scale))
+		if tg < tc {
+			tc = tg
+		}
+		loads[node] += tc
+	}
+
+	res := &Result{}
+	var sumResp, nJobs float64
+	minDone, maxDone := -1.0, 0.0
+	for n := 0; n < opts.Nodes; n++ {
+		nodeRes, err := online.Serve(online.Options{
+			Cfg: opts.Cfg, Mem: opts.Mem, Char: opts.Char,
+			Cap: opts.CapPerNode, Policy: opts.Policy, Seed: opts.Seed + int64(n),
+		}, perNode[n])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", n, err)
+		}
+		res.PerNode = append(res.PerNode, NodeResult{Node: n, Jobs: len(perNode[n]), Result: nodeRes})
+		res.TotalEnergyJ += nodeRes.EnergyJ
+		for _, o := range nodeRes.Outcomes {
+			sumResp += float64(o.Response())
+			nJobs++
+		}
+		d := float64(nodeRes.Done)
+		if d > maxDone {
+			maxDone = d
+		}
+		if minDone < 0 || d < minDone {
+			minDone = d
+		}
+		if nodeRes.Done > res.Done {
+			res.Done = nodeRes.Done
+		}
+	}
+	if nJobs > 0 {
+		res.MeanResponse = units.Seconds(sumResp / nJobs)
+	}
+	if maxDone > 0 {
+		res.Imbalance = (maxDone - minDone) / maxDone
+	}
+	return res, nil
+}
+
+// clusterScore ranks a candidate node: load dominates, the affinity
+// mismatch breaks ties (a GPU-preferred job prefers a CPU-heavy
+// backlog and vice versa).
+func clusterScore(load, minLoad, bias, jobBias float64) float64 {
+	rel := 0.0
+	if minLoad > 0 {
+		rel = (load - minLoad) / minLoad
+	}
+	return rel + 0.02*bias*jobBias
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"corun/internal/apu"
+	"corun/internal/memsys"
+	"corun/internal/model"
+	"corun/internal/online"
+)
+
+var (
+	charOnce sync.Once
+	charVal  *model.Characterization
+	charErr  error
+)
+
+func testOptions(t *testing.T, nodes int, bal Balancer) Options {
+	t.Helper()
+	cfg := apu.DefaultConfig()
+	mem := memsys.Default()
+	charOnce.Do(func() {
+		charVal, charErr = model.Characterize(model.CharacterizeOptions{Cfg: cfg, Mem: mem})
+	})
+	if charErr != nil {
+		t.Fatal(charErr)
+	}
+	return Options{
+		Cfg: cfg, Mem: mem, Char: charVal,
+		Nodes: nodes, CapPerNode: 15,
+		Balancer: bal, Policy: online.PolicyHCSPlus, Seed: 1,
+	}
+}
+
+func arrivals(t *testing.T, n int, gap float64, seed int64) []online.Arrival {
+	t.Helper()
+	as, err := online.GenerateArrivals(n, gap, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func TestServeValidation(t *testing.T) {
+	if _, err := Serve(Options{Nodes: 0}, nil); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := Serve(Options{Nodes: 2}, nil); err == nil {
+		t.Error("nil machine accepted")
+	}
+	bad := testOptions(t, 2, Balancer(99))
+	if _, err := Serve(bad, arrivals(t, 4, 10, 1)); err == nil {
+		t.Error("unknown balancer accepted")
+	}
+}
+
+func TestServeAllJobsAcrossNodes(t *testing.T) {
+	opts := testOptions(t, 3, RoundRobin)
+	as := arrivals(t, 18, 5, 2)
+	res, err := Serve(opts, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, nr := range res.PerNode {
+		total += len(nr.Result.Outcomes)
+		if nr.Jobs != len(nr.Result.Outcomes) {
+			t.Errorf("node %d: %d assigned vs %d served", nr.Node, nr.Jobs, len(nr.Result.Outcomes))
+		}
+	}
+	if total != 18 {
+		t.Fatalf("%d of 18 jobs served", total)
+	}
+	if res.Done <= 0 || res.MeanResponse <= 0 || res.TotalEnergyJ <= 0 {
+		t.Errorf("summary broken: %+v", res)
+	}
+	// Round robin splits 18 jobs 6/6/6.
+	for _, nr := range res.PerNode {
+		if nr.Jobs != 6 {
+			t.Errorf("round robin gave node %d %d jobs", nr.Node, nr.Jobs)
+		}
+	}
+}
+
+// More nodes drain a bursty stream faster.
+func TestMoreNodesFaster(t *testing.T) {
+	as := arrivals(t, 16, 2, 3) // heavy burst
+	one, err := Serve(testOptions(t, 1, LeastLoaded), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Serve(testOptions(t, 4, LeastLoaded), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Done >= one.Done {
+		t.Errorf("4 nodes (%v) should finish before 1 node (%v)", four.Done, one.Done)
+	}
+	if four.MeanResponse >= one.MeanResponse {
+		t.Errorf("4 nodes mean response %v should beat 1 node %v", four.MeanResponse, one.MeanResponse)
+	}
+}
+
+// Load-aware balancing beats round robin on response time for skewed
+// streams.
+func TestLeastLoadedBeatsRoundRobin(t *testing.T) {
+	as := arrivals(t, 20, 3, 5)
+	rr, err := Serve(testOptions(t, 3, RoundRobin), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := Serve(testOptions(t, 3, LeastLoaded), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Least-loaded should not be meaningfully worse; usually better.
+	if float64(ll.MeanResponse) > float64(rr.MeanResponse)*1.1 {
+		t.Errorf("least-loaded response %v clearly worse than round robin %v",
+			ll.MeanResponse, rr.MeanResponse)
+	}
+	if ll.Imbalance > rr.Imbalance+0.15 {
+		t.Errorf("least-loaded imbalance %.2f clearly worse than round robin %.2f",
+			ll.Imbalance, rr.Imbalance)
+	}
+}
+
+// The affinity-aware policy serves at least as well as plain
+// least-loaded on mixed streams (it preserves co-run pairings).
+func TestAffinityAwareCompetitive(t *testing.T) {
+	as := arrivals(t, 24, 3, 7)
+	ll, err := Serve(testOptions(t, 3, LeastLoaded), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa, err := Serve(testOptions(t, 3, AffinityAware), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(aa.MeanResponse) > float64(ll.MeanResponse)*1.15 {
+		t.Errorf("affinity-aware response %v clearly worse than least-loaded %v",
+			aa.MeanResponse, ll.MeanResponse)
+	}
+}
+
+func TestBalancerString(t *testing.T) {
+	if RoundRobin.String() != "round-robin" || LeastLoaded.String() != "least-loaded" ||
+		AffinityAware.String() != "affinity-aware" {
+		t.Error("balancer names wrong")
+	}
+	if Balancer(9).String() == "" {
+		t.Error("unknown balancer renders empty")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	res, err := Serve(testOptions(t, 2, RoundRobin), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done != 0 || len(res.PerNode) != 2 {
+		t.Errorf("empty stream: %+v", res)
+	}
+}

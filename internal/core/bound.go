@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+
+	"corun/internal/apu"
+	"corun/internal/units"
+)
+
+// LowerBound computes the paper's lower bound on the optimal makespan
+// (section IV-B):
+//
+//	T_low = 1/2 * sum_i l'_i
+//
+// where for each processor p
+//
+//	l'_{i,p} = min co-run time of i on p with its least-interfering
+//	           partner under the cap, if that beats 2x its best solo
+//	           time; otherwise 2x its best solo time,
+//
+// and l'_i = min_p l'_{i,p}. The soundness follows from the Co-Run
+// Theorem: a job either overlaps a partner (occupying "half" the
+// machine for its co-run length) or runs alone (occupying the whole
+// machine, hence the factor two before halving).
+func (cx *Context) LowerBound() (units.Seconds, error) {
+	n := cx.Oracle.NumJobs()
+	total := 0.0
+	for i := 0; i < n; i++ {
+		li, err := cx.boundTerm(i)
+		if err != nil {
+			return 0, err
+		}
+		total += float64(li)
+	}
+	return units.Seconds(total / 2), nil
+}
+
+// boundTerm computes l'_i.
+func (cx *Context) boundTerm(i int) (units.Seconds, error) {
+	best := -1.0
+	for d := apu.CPU; d <= apu.GPU; d++ {
+		v, ok := cx.boundTermOn(i, d)
+		if !ok {
+			continue
+		}
+		if best < 0 || float64(v) < best {
+			best = float64(v)
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("core: job %d infeasible under cap %v", i, cx.Cap)
+	}
+	return units.Seconds(best), nil
+}
+
+// boundTermOn computes l'_{i,p} for one processor.
+func (cx *Context) boundTermOn(i int, d apu.Device) (units.Seconds, bool) {
+	o := cx.Oracle
+	solo, okSolo := cx.BestSoloTime(i, d)
+	minCoRun := -1.0
+	for j := 0; j < o.NumJobs(); j++ {
+		if j == i {
+			continue
+		}
+		for _, f := range cx.freqLevels(d) {
+			for _, g := range cx.freqLevels(d.Other()) {
+				if cx.Capped() {
+					var p units.Watts
+					if d == apu.CPU {
+						p = o.CoRunPower(i, f, j, g)
+					} else {
+						p = o.CoRunPower(j, g, i, f)
+					}
+					if p > cx.Cap {
+						continue
+					}
+				}
+				t := float64(o.StandaloneTime(i, d, f)) * (1 + o.Degradation(i, d, f, j, g))
+				if minCoRun < 0 || t < minCoRun {
+					minCoRun = t
+				}
+			}
+		}
+	}
+	switch {
+	case !okSolo && minCoRun < 0:
+		return 0, false
+	case !okSolo:
+		return units.Seconds(minCoRun), true
+	case minCoRun < 0:
+		return 2 * solo, true
+	case minCoRun < 2*float64(solo):
+		return units.Seconds(minCoRun), true
+	default:
+		return 2 * solo, true
+	}
+}
+
+// MinCoRunTime reports the best co-run time of job i on device d with
+// its least-interfering partner under the cap — the "min. co-run time"
+// rows of Table I. ok is false if no cap-feasible co-run exists.
+func (cx *Context) MinCoRunTime(i int, d apu.Device) (units.Seconds, bool) {
+	o := cx.Oracle
+	best := -1.0
+	for j := 0; j < o.NumJobs(); j++ {
+		if j == i {
+			continue
+		}
+		for _, f := range cx.freqLevels(d) {
+			for _, g := range cx.freqLevels(d.Other()) {
+				if cx.Capped() {
+					var p units.Watts
+					if d == apu.CPU {
+						p = o.CoRunPower(i, f, j, g)
+					} else {
+						p = o.CoRunPower(j, g, i, f)
+					}
+					if p > cx.Cap {
+						continue
+					}
+				}
+				t := float64(o.StandaloneTime(i, d, f)) * (1 + o.Degradation(i, d, f, j, g))
+				if best < 0 || t < best {
+					best = t
+				}
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return units.Seconds(best), true
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"corun/internal/apu"
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+// A fully exclusive schedule serializes everything: the predicted
+// makespan equals the sum of the best solo times.
+func TestExclusiveScheduleSerializes(t *testing.T) {
+	batch, err := workload.Subset("dwt2d", "hotspot", "lud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx, _ := testContext(t, batch, 0)
+	s := &Schedule{
+		CPUOrder:  []int{0},
+		GPUOrder:  []int{1, 2},
+		Exclusive: map[int]bool{0: true, 1: true, 2: true},
+	}
+	got, err := cx.PredictedMakespan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.Seconds(0)
+	for i := range batch {
+		_, _, ti, ok := cx.BestSoloAnywhere(i)
+		if !ok {
+			t.Fatal("infeasible")
+		}
+		// The schedule pins each job to a device; use that device's
+		// best time.
+		dev := apu.GPU
+		if i == 0 {
+			dev = apu.CPU
+		}
+		tDev, ok := cx.BestSoloTime(i, dev)
+		if !ok {
+			t.Fatal("infeasible on scheduled device")
+		}
+		want += tDev
+		_ = ti
+	}
+	if math.Abs(float64(got-want)) > 1e-6 {
+		t.Errorf("exclusive makespan %v, want serialized %v", got, want)
+	}
+}
+
+// The same schedule executed on the simulator also serializes: no two
+// jobs' intervals overlap.
+func TestExclusiveExecutionNoOverlap(t *testing.T) {
+	batch, err := workload.Subset("dwt2d", "hotspot", "lud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx, opts := testContext(t, batch, 0)
+	s := &Schedule{
+		CPUOrder:  []int{0},
+		GPUOrder:  []int{1, 2},
+		Exclusive: map[int]bool{0: true, 1: true, 2: true},
+	}
+	res, err := cx.Execute(s, batch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Completions) != 3 {
+		t.Fatalf("%d completions", len(res.Completions))
+	}
+	for i := range res.Completions {
+		for j := i + 1; j < len(res.Completions); j++ {
+			a, b := res.Completions[i], res.Completions[j]
+			if a.Start < b.End-1e-9 && b.Start < a.End-1e-9 {
+				t.Errorf("%s and %s overlap despite exclusivity", a.Inst.Label, b.Inst.Label)
+			}
+		}
+	}
+}
+
+// Mixed schedules honour exclusivity selectively: the non-exclusive
+// pair overlaps, the exclusive job does not overlap anything.
+func TestMixedExclusiveExecution(t *testing.T) {
+	batch, err := workload.Subset("dwt2d", "hotspot", "streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx, opts := testContext(t, batch, 0)
+	s := &Schedule{
+		CPUOrder:  []int{0},
+		GPUOrder:  []int{1, 2},
+		Exclusive: map[int]bool{2: true}, // streamcluster runs alone
+	}
+	res, err := cx.Execute(s, batch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := map[string][2]units.Seconds{}
+	for _, c := range res.Completions {
+		ends[c.Inst.Label] = [2]units.Seconds{c.Start, c.End}
+	}
+	d, h, scc := ends["dwt2d"], ends["hotspot"], ends["streamcluster"]
+	if !(d[0] < h[1] && h[0] < d[1]) {
+		t.Error("dwt2d and hotspot should overlap")
+	}
+	if scc[0] < d[1]-1e-9 && d[0] < scc[1]-1e-9 {
+		t.Error("streamcluster overlaps dwt2d despite exclusivity")
+	}
+}
+
+// A deadlocked schedule (exclusive jobs interleaved so neither side
+// can proceed) is impossible by construction here, but the evaluator
+// must terminate and report sane errors for nonsense schedules.
+func TestPredictedMakespanRejectsInvalid(t *testing.T) {
+	batch := workload.Batch8()
+	cx, _ := testContext(t, batch, 15)
+	bad := &Schedule{CPUOrder: []int{0, 0}, Exclusive: map[int]bool{}}
+	if _, err := cx.PredictedMakespan(bad); err == nil {
+		t.Error("duplicate-job schedule accepted")
+	}
+}

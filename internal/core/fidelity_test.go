@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+// The predicted evaluator must be a faithful proxy for execution:
+// across random schedules of the same batch, predicted and executed
+// makespans correlate strongly, otherwise refinement would optimize
+// the wrong thing.
+func TestPredictedTracksExecuted(t *testing.T) {
+	batch := workload.Batch8()
+	cx, opts := testContext(t, batch, 15)
+	rng := rand.New(rand.NewSource(5))
+
+	type pt struct{ pred, exec float64 }
+	var pts []pt
+	for k := 0; k < 12; k++ {
+		s := randomSchedule(len(batch), rng)
+		pred, err := cx.PredictedMakespan(s)
+		if err != nil {
+			continue
+		}
+		res, err := cx.Execute(s, batch, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, pt{float64(pred), float64(res.Makespan)})
+	}
+	if len(pts) < 8 {
+		t.Fatalf("only %d schedule samples", len(pts))
+	}
+
+	// Rank correlation (Spearman-ish): sort by predicted, check the
+	// executed ranks mostly agree.
+	byPred := append([]pt(nil), pts...)
+	sort.Slice(byPred, func(i, j int) bool { return byPred[i].pred < byPred[j].pred })
+	inversions := 0
+	total := 0
+	for i := 0; i < len(byPred); i++ {
+		for j := i + 1; j < len(byPred); j++ {
+			total++
+			if byPred[i].exec > byPred[j].exec {
+				inversions++
+			}
+		}
+	}
+	if frac := float64(inversions) / float64(total); frac > 0.3 {
+		t.Errorf("predicted/executed rank inversions %.0f%%; evaluator is a poor proxy", 100*frac)
+	}
+
+	// Magnitudes track within a factor: predicted within [0.5, 1.6]x
+	// of executed for every sample (systematic bias from the dwt2d
+	// blind spot is tolerated, wild divergence is not).
+	for _, p := range pts {
+		r := p.exec / p.pred
+		if r < 0.5 || r > 1.6 {
+			t.Errorf("predicted %v vs executed %v diverge (ratio %.2f)", p.pred, p.exec, r)
+		}
+	}
+}
+
+// The executed makespan of the HCS+ schedule is reproducible: two
+// executions of the same plan agree exactly (the simulator is
+// deterministic).
+func TestExecutionDeterministic(t *testing.T) {
+	batch := workload.Batch8()
+	cx, opts := testContext(t, batch, 15)
+	plan, _, err := cx.HCSPlus(HCSOptions{}, RefineOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cx.Execute(plan, batch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cx.Execute(plan, batch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(a.Makespan-b.Makespan)) > 1e-12 {
+		t.Errorf("same plan executed differently: %v vs %v", a.Makespan, b.Makespan)
+	}
+	if a.EnergyJ != b.EnergyJ {
+		t.Errorf("energy diverged: %v vs %v", a.EnergyJ, b.EnergyJ)
+	}
+}
+
+// Tightening the cap can only increase the predicted optimal: bound
+// and HCS+ makespans are monotone (non-increasing) in the cap.
+func TestMonotoneInCap(t *testing.T) {
+	batch := workload.Batch8()
+	prevBound, prevPlus := math.Inf(1), math.Inf(1)
+	for _, cap := range []float64{13, 15, 18, 25, 0} { // 0 = uncapped, loosest
+		cx, _ := testContext(t, batch, units.Watts(cap))
+		bound, err := cx.LowerBound()
+		if err != nil {
+			t.Fatalf("cap %v: %v", cap, err)
+		}
+		_, plusT, err := cx.HCSPlus(HCSOptions{}, RefineOptions{Seed: 7})
+		if err != nil {
+			t.Fatalf("cap %v: %v", cap, err)
+		}
+		if float64(bound) > prevBound+1e-9 {
+			t.Errorf("bound rose when the cap loosened to %v: %v > %v", cap, bound, prevBound)
+		}
+		if float64(plusT) > prevPlus*1.02 {
+			t.Errorf("HCS+ predicted makespan rose when the cap loosened to %v: %v > %v", cap, plusT, prevPlus)
+		}
+		prevBound, prevPlus = float64(bound), float64(plusT)
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"corun/internal/units"
+)
+
+// FuzzPairTimes checks the side-note overlap arithmetic over arbitrary
+// lengths and degradations.
+func FuzzPairTimes(f *testing.F) {
+	f.Add(10.0, 5.0, 0.2, 0.1)
+	f.Add(24.37, 23.72, 0.81, 0.05)
+	f.Add(1.0, 100.0, 0.0, 1.5)
+	f.Fuzz(func(t *testing.T, l1, l2, d1, d2 float64) {
+		if math.IsNaN(l1) || math.IsNaN(l2) || math.IsNaN(d1) || math.IsNaN(d2) {
+			t.Skip()
+		}
+		if l1 <= 0 || l2 <= 0 || l1 > 1e6 || l2 > 1e6 || d1 < 0 || d2 < 0 || d1 > 10 || d2 > 10 {
+			t.Skip()
+		}
+		t1, t2 := PairTimes(units.Seconds(l1), units.Seconds(l2), d1, d2)
+		// Finish times bounded by the degradation extremes.
+		if float64(t1) < l1-1e-6 || float64(t2) < l2-1e-6 {
+			t.Fatalf("finish before standalone: (%v,%v) for l=(%v,%v) d=(%v,%v)", t1, t2, l1, l2, d1, d2)
+		}
+		if float64(t1) > l1*(1+d1)+1e-6 || float64(t2) > l2*(1+d2)+1e-6 {
+			t.Fatalf("finish after fully degraded: (%v,%v) for l=(%v,%v) d=(%v,%v)", t1, t2, l1, l2, d1, d2)
+		}
+		// Side note never exceeds the naive makespan, and the theorem
+		// matches the naive comparison.
+		ms := PairMakespan(units.Seconds(l1), units.Seconds(l2), d1, d2)
+		naive := NaivePairMakespan(units.Seconds(l1), units.Seconds(l2), d1, d2)
+		if ms > naive+1e-6 {
+			t.Fatalf("side-note makespan %v above naive %v", ms, naive)
+		}
+		seq := l1 + l2
+		if math.Abs(float64(naive)-seq) > 1e-9 {
+			want := float64(naive) < seq
+			if got := CoRunBeneficial(units.Seconds(l1), units.Seconds(l2), d1, d2); got != want {
+				t.Fatalf("theorem %v disagrees with naive comparison (naive %v, seq %v)", got, naive, seq)
+			}
+		}
+	})
+}

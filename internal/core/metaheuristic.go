@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"corun/internal/apu"
+	"corun/internal/units"
+)
+
+// The paper's local refinement is deliberately cheap (linear). The two
+// metaheuristics here explore the same schedule space harder, at a cost
+// the paper's online budget would not allow; they bound how much the
+// cheap refinement leaves on the table. Simulated annealing perturbs
+// one schedule; the genetic search (the direction of Phan et al., cited
+// in the paper's related work) evolves a population.
+
+// AnnealOptions configures simulated annealing.
+type AnnealOptions struct {
+	// Iterations is the number of proposed moves; zero defaults to
+	// 2000.
+	Iterations int
+	// InitialTemp is the starting temperature relative to the initial
+	// predicted makespan; zero defaults to 0.05 (5% uphill moves are
+	// plausible early).
+	InitialTemp float64
+	// Seed drives the proposal chain.
+	Seed int64
+}
+
+// Anneal improves a schedule by simulated annealing on the predicted
+// makespan, using the same move set as the paper's refinement (adjacent
+// swaps, in-queue swaps, cross-device swaps) plus job migration between
+// queues. It returns the best schedule found and its predicted makespan.
+func (cx *Context) Anneal(s *Schedule, opts AnnealOptions) (*Schedule, units.Seconds, error) {
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = 2000
+	}
+	t0 := opts.InitialTemp
+	if t0 <= 0 {
+		t0 = 0.05
+	}
+	cur := s.Clone()
+	curT, err := cx.PredictedMakespan(cur)
+	if err != nil {
+		return nil, 0, err
+	}
+	best, bestT := cur.Clone(), curT
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	for k := 0; k < iters; k++ {
+		cand := cur.Clone()
+		mutateSchedule(cand, rng)
+		candT, err := cx.PredictedMakespan(cand)
+		if err != nil {
+			continue // infeasible proposal; skip
+		}
+		temp := t0 * float64(curT) * (1 - float64(k)/float64(iters))
+		delta := float64(candT - curT)
+		if delta <= 0 || (temp > 0 && rng.Float64() < math.Exp(-delta/temp)) {
+			cur, curT = cand, candT
+			if curT < bestT {
+				best, bestT = cur.Clone(), curT
+			}
+		}
+	}
+	return best, bestT, nil
+}
+
+// mutateSchedule applies one random move in place.
+func mutateSchedule(s *Schedule, rng *rand.Rand) {
+	type move int
+	const (
+		swapInCPU move = iota
+		swapInGPU
+		swapAcross
+		migrate
+	)
+	for attempts := 0; attempts < 8; attempts++ {
+		switch move(rng.Intn(4)) {
+		case swapInCPU:
+			if len(s.CPUOrder) >= 2 {
+				i, j := rng.Intn(len(s.CPUOrder)), rng.Intn(len(s.CPUOrder))
+				s.CPUOrder[i], s.CPUOrder[j] = s.CPUOrder[j], s.CPUOrder[i]
+				return
+			}
+		case swapInGPU:
+			if len(s.GPUOrder) >= 2 {
+				i, j := rng.Intn(len(s.GPUOrder)), rng.Intn(len(s.GPUOrder))
+				s.GPUOrder[i], s.GPUOrder[j] = s.GPUOrder[j], s.GPUOrder[i]
+				return
+			}
+		case swapAcross:
+			if len(s.CPUOrder) > 0 && len(s.GPUOrder) > 0 {
+				i, j := rng.Intn(len(s.CPUOrder)), rng.Intn(len(s.GPUOrder))
+				s.CPUOrder[i], s.GPUOrder[j] = s.GPUOrder[j], s.CPUOrder[i]
+				return
+			}
+		case migrate:
+			// Move one job to a random position on the other device.
+			if len(s.CPUOrder) > 0 && rng.Intn(2) == 0 {
+				i := rng.Intn(len(s.CPUOrder))
+				j := s.CPUOrder[i]
+				s.CPUOrder = append(s.CPUOrder[:i], s.CPUOrder[i+1:]...)
+				pos := 0
+				if len(s.GPUOrder) > 0 {
+					pos = rng.Intn(len(s.GPUOrder) + 1)
+				}
+				s.GPUOrder = append(s.GPUOrder[:pos], append([]int{j}, s.GPUOrder[pos:]...)...)
+				return
+			}
+			if len(s.GPUOrder) > 0 {
+				i := rng.Intn(len(s.GPUOrder))
+				j := s.GPUOrder[i]
+				s.GPUOrder = append(s.GPUOrder[:i], s.GPUOrder[i+1:]...)
+				pos := 0
+				if len(s.CPUOrder) > 0 {
+					pos = rng.Intn(len(s.CPUOrder) + 1)
+				}
+				s.CPUOrder = append(s.CPUOrder[:pos], append([]int{j}, s.CPUOrder[pos:]...)...)
+				return
+			}
+		}
+	}
+}
+
+// GeneticOptions configures the evolutionary search.
+type GeneticOptions struct {
+	// Population size; zero defaults to 24.
+	Population int
+	// Generations; zero defaults to 60.
+	Generations int
+	// MutationRate is the per-offspring mutation probability; zero
+	// defaults to 0.3.
+	MutationRate float64
+	// Seed drives the evolution.
+	Seed int64
+	// SeedSchedule, if non-nil, joins the initial population (e.g. the
+	// HCS output).
+	SeedSchedule *Schedule
+}
+
+// Genetic evolves a population of schedules under the predicted-
+// makespan fitness and returns the best individual.
+func (cx *Context) Genetic(opts GeneticOptions) (*Schedule, units.Seconds, error) {
+	n := cx.Oracle.NumJobs()
+	if n == 0 {
+		return &Schedule{Exclusive: map[int]bool{}}, 0, nil
+	}
+	pop := opts.Population
+	if pop <= 0 {
+		pop = 24
+	}
+	gens := opts.Generations
+	if gens <= 0 {
+		gens = 60
+	}
+	mut := opts.MutationRate
+	if mut <= 0 {
+		mut = 0.3
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	type indiv struct {
+		s *Schedule
+		t units.Seconds
+	}
+	eval := func(s *Schedule) (indiv, bool) {
+		t, err := cx.PredictedMakespan(s)
+		if err != nil {
+			return indiv{}, false
+		}
+		return indiv{s: s, t: t}, true
+	}
+
+	var people []indiv
+	if opts.SeedSchedule != nil {
+		if iv, ok := eval(opts.SeedSchedule.Clone()); ok {
+			people = append(people, iv)
+		}
+	}
+	for len(people) < pop {
+		if iv, ok := eval(randomSchedule(n, rng)); ok {
+			people = append(people, iv)
+		}
+	}
+
+	tournament := func() indiv {
+		best := people[rng.Intn(len(people))]
+		for k := 0; k < 2; k++ {
+			c := people[rng.Intn(len(people))]
+			if c.t < best.t {
+				best = c
+			}
+		}
+		return best
+	}
+
+	for g := 0; g < gens; g++ {
+		var next []indiv
+		// Elitism: carry the champion.
+		champ := people[0]
+		for _, iv := range people {
+			if iv.t < champ.t {
+				champ = iv
+			}
+		}
+		next = append(next, champ)
+		for len(next) < pop {
+			a, b := tournament(), tournament()
+			child := crossover(a.s, b.s, n, rng)
+			if rng.Float64() < mut {
+				mutateSchedule(child, rng)
+			}
+			if iv, ok := eval(child); ok {
+				next = append(next, iv)
+			}
+		}
+		people = next
+	}
+	best := people[0]
+	for _, iv := range people {
+		if iv.t < best.t {
+			best = iv
+		}
+	}
+	if err := best.s.Validate(n); err != nil {
+		return nil, 0, fmt.Errorf("core: genetic search produced an invalid schedule: %w", err)
+	}
+	return best.s, best.t, nil
+}
+
+// randomSchedule assigns each job to a random device with preference-
+// free random order.
+func randomSchedule(n int, rng *rand.Rand) *Schedule {
+	s := &Schedule{Exclusive: map[int]bool{}}
+	perm := rng.Perm(n)
+	for _, j := range perm {
+		if rng.Intn(2) == 0 {
+			s.CPUOrder = append(s.CPUOrder, j)
+		} else {
+			s.GPUOrder = append(s.GPUOrder, j)
+		}
+	}
+	return s
+}
+
+// crossover builds a child that inherits each job's device from a
+// random parent and its relative order from parent a.
+func crossover(a, b *Schedule, n int, rng *rand.Rand) *Schedule {
+	devOf := func(s *Schedule) map[int]apu.Device {
+		m := make(map[int]apu.Device, n)
+		for _, j := range s.CPUOrder {
+			m[j] = apu.CPU
+		}
+		for _, j := range s.GPUOrder {
+			m[j] = apu.GPU
+		}
+		return m
+	}
+	da, db := devOf(a), devOf(b)
+	child := &Schedule{Exclusive: map[int]bool{}}
+	// Order template: parent a's concatenated order.
+	order := append(append([]int(nil), a.CPUOrder...), a.GPUOrder...)
+	for _, j := range order {
+		dev := da[j]
+		if rng.Intn(2) == 0 {
+			dev = db[j]
+		}
+		if dev == apu.CPU {
+			child.CPUOrder = append(child.CPUOrder, j)
+		} else {
+			child.GPUOrder = append(child.GPUOrder, j)
+		}
+	}
+	return child
+}

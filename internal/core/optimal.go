@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"corun/internal/units"
+)
+
+// MaxOptimalJobs bounds the exhaustive optimal search; the schedule
+// space is sum_k C(n,k)*k!*(n-k)! = (n+1)! configurations, so eight
+// jobs already cost ~360k evaluations.
+const MaxOptimalJobs = 8
+
+// OptimalSchedule exhaustively searches every (CPU order, GPU order)
+// partition of the batch and returns the schedule with the smallest
+// predicted makespan, along with that makespan.
+//
+// The search optimizes the same predicted objective the heuristics use
+// (frequencies per pairing via ChoosePairFreqs, side-note overlap
+// arithmetic), so the gap between HCS+ and this optimum isolates the
+// heuristic's scheduling loss from model error. The co-scheduling
+// problem is NP-hard (section IV), which is exactly why this is only
+// feasible for small batches — it exists to validate the heuristics
+// and the lower bound, not to replace them.
+func (cx *Context) OptimalSchedule() (*Schedule, units.Seconds, error) {
+	n := cx.Oracle.NumJobs()
+	if n == 0 {
+		return &Schedule{Exclusive: map[int]bool{}}, 0, nil
+	}
+	if n > MaxOptimalJobs {
+		return nil, 0, fmt.Errorf("core: optimal search supports at most %d jobs, got %d", MaxOptimalJobs, n)
+	}
+
+	var best *Schedule
+	bestT := units.Seconds(0)
+	found := false
+
+	jobs := make([]int, n)
+	for i := range jobs {
+		jobs[i] = i
+	}
+
+	// Enumerate subsets for the CPU side, then permutations of both
+	// sides.
+	for mask := 0; mask < 1<<n; mask++ {
+		var cpu, gpu []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cpu = append(cpu, jobs[i])
+			} else {
+				gpu = append(gpu, jobs[i])
+			}
+		}
+		forEachPermutation(cpu, func(cp []int) {
+			forEachPermutation(gpu, func(gp []int) {
+				s := &Schedule{
+					CPUOrder:  append([]int(nil), cp...),
+					GPUOrder:  append([]int(nil), gp...),
+					Exclusive: map[int]bool{},
+				}
+				t, err := cx.PredictedMakespan(s)
+				if err != nil {
+					return
+				}
+				if !found || t < bestT {
+					best, bestT, found = s, t, true
+				}
+			})
+		})
+	}
+	if !found {
+		return nil, 0, fmt.Errorf("core: no feasible schedule under cap %v", cx.Cap)
+	}
+	return best, bestT, nil
+}
+
+// forEachPermutation calls f with every permutation of xs (Heap's
+// algorithm; the slice passed to f is reused between calls).
+func forEachPermutation(xs []int, f func([]int)) {
+	if len(xs) == 0 {
+		f(nil)
+		return
+	}
+	perm := append([]int(nil), xs...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			f(perm)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				perm[i], perm[k-1] = perm[k-1], perm[i]
+			} else {
+				perm[0], perm[k-1] = perm[k-1], perm[0]
+			}
+		}
+	}
+	rec(len(perm))
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"corun/internal/units"
+)
+
+func TestCoRunTheoremBasic(t *testing.T) {
+	// l1=10 with d1=0.2 (co-run 12) vs l2=5 with d2=0.1 (co-run 5.5):
+	// overhead l1*d1 = 2 < l2 = 5, so co-running wins.
+	if !CoRunBeneficial(10, 5, 0.2, 0.1) {
+		t.Error("beneficial co-run rejected")
+	}
+	// Heavy mutual degradation: l1=10, d1=0.9 -> overhead 9 > l2 = 5.
+	if CoRunBeneficial(10, 5, 0.9, 0.1) {
+		t.Error("harmful co-run accepted")
+	}
+	// Zero degradation always wins (free overlap).
+	if !CoRunBeneficial(10, 10, 0, 0) {
+		t.Error("free co-run rejected")
+	}
+}
+
+// The theorem is order-independent: swapping the jobs' labels must not
+// change the verdict.
+func TestCoRunTheoremSymmetric(t *testing.T) {
+	f := func(l1Raw, l2Raw, d1Raw, d2Raw uint16) bool {
+		l1 := units.Seconds(float64(l1Raw)/65535*100 + 1)
+		l2 := units.Seconds(float64(l2Raw)/65535*100 + 1)
+		d1 := float64(d1Raw) / 65535
+		d2 := float64(d2Raw) / 65535
+		return CoRunBeneficial(l1, l2, d1, d2) == CoRunBeneficial(l2, l1, d2, d1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The theorem agrees exactly with the naive pair makespan: co-run
+// beneficial iff NaivePairMakespan < l1 + l2. (This is the theorem's
+// proof restated as a property.)
+func TestCoRunTheoremMatchesNaiveMakespan(t *testing.T) {
+	f := func(l1Raw, l2Raw, d1Raw, d2Raw uint16) bool {
+		l1 := units.Seconds(float64(l1Raw)/65535*100 + 1)
+		l2 := units.Seconds(float64(l2Raw)/65535*100 + 1)
+		d1 := float64(d1Raw) / 65535
+		d2 := float64(d2Raw) / 65535
+		ms := NaivePairMakespan(l1, l2, d1, d2)
+		seq := l1 + l2
+		// Avoid knife-edge ties.
+		if math.Abs(float64(ms-seq)) < 1e-9 {
+			return true
+		}
+		return CoRunBeneficial(l1, l2, d1, d2) == (ms < seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The side-note-aware makespan is never worse than the naive one: the
+// partial-overlap correction only removes phantom interference.
+func TestSideNoteNeverWorseThanNaive(t *testing.T) {
+	f := func(l1Raw, l2Raw, d1Raw, d2Raw uint16) bool {
+		l1 := units.Seconds(float64(l1Raw)/65535*100 + 1)
+		l2 := units.Seconds(float64(l2Raw)/65535*100 + 1)
+		d1 := float64(d1Raw) / 65535
+		d2 := float64(d2Raw) / 65535
+		return PairMakespan(l1, l2, d1, d2) <= NaivePairMakespan(l1, l2, d1, d2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairTimesEqualLengths(t *testing.T) {
+	t1, t2 := PairTimes(10, 10, 0.5, 0.5)
+	if t1 != 15 || t2 != 15 {
+		t.Errorf("equal co-runs: (%v,%v), want (15,15)", t1, t2)
+	}
+}
+
+// The side-note case: the shorter co-run finishes, the longer one's
+// remainder runs undegraded.
+func TestPairTimesSideNote(t *testing.T) {
+	// l1=10,d1=0.5 -> would be 15 naively; l2=6,d2=0.2 -> 7.2 finishes
+	// first. By 7.2, job1 completed 7.2/1.5=4.8 standalone-seconds;
+	// remaining 5.2 run alone: finish 12.4 < naive 15.
+	t1, t2 := PairTimes(10, 6, 0.5, 0.2)
+	if math.Abs(float64(t2)-7.2) > 1e-9 {
+		t.Errorf("short job finish = %v, want 7.2", t2)
+	}
+	if math.Abs(float64(t1)-12.4) > 1e-9 {
+		t.Errorf("long job finish = %v, want 12.4", t1)
+	}
+}
+
+// Properties of PairTimes: each finish time is at least the standalone
+// length and at most the naive fully-degraded length; the joint
+// makespan never exceeds sequential execution when degradations are
+// zero.
+func TestPairTimesProperty(t *testing.T) {
+	f := func(l1Raw, l2Raw, d1Raw, d2Raw uint16) bool {
+		l1 := units.Seconds(float64(l1Raw)/65535*100 + 1)
+		l2 := units.Seconds(float64(l2Raw)/65535*100 + 1)
+		d1 := float64(d1Raw) / 65535 * 2
+		d2 := float64(d2Raw) / 65535 * 2
+		t1, t2 := PairTimes(l1, l2, d1, d2)
+		if t1 < l1-1e-9 || t2 < l2-1e-9 {
+			return false
+		}
+		if float64(t1) > float64(l1)*(1+d1)+1e-9 || float64(t2) > float64(l2)*(1+d2)+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairMakespanZeroDegradation(t *testing.T) {
+	if got := PairMakespan(10, 25, 0, 0); got != 25 {
+		t.Errorf("free co-run makespan = %v, want 25", got)
+	}
+}

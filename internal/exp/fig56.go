@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"corun/internal/model"
+)
+
+// SurfacesResult reproduces Figures 5 and 6: the micro-benchmark co-run
+// degradation spectra at maximum frequencies.
+type SurfacesResult struct {
+	// Surface is the characterized max-frequency surface: CPUBW/GPUBW
+	// grid coordinates with DegCPU (Figure 5) and DegGPU (Figure 6).
+	Surface *model.Surface
+
+	// Summary statistics of each figure.
+	CPUMax, GPUMax              float64
+	CPUFracBelow20, GPUIn20To40 float64
+}
+
+// Figures5And6 extracts the maximum-frequency characterization surface
+// and its summary statistics.
+func (s *Suite) Figures5And6() (*SurfacesResult, error) {
+	a := len(s.Char.CPULevels) - 1
+	b := len(s.Char.GPULevels) - 1
+	surf := s.Char.SurfaceAt(a, b)
+	res := &SurfacesResult{Surface: surf}
+
+	nCPU, nBoth := 0, 0
+	nGPU, nGPUBand := 0, 0
+	for i := range surf.DegCPU {
+		for j := range surf.DegCPU[i] {
+			if d := surf.DegCPU[i][j]; d > res.CPUMax {
+				res.CPUMax = d
+			}
+			if surf.CPUBW[i] > 0 && surf.GPUBW[j] > 0 {
+				nCPU++
+				if surf.DegCPU[i][j] <= 0.20 {
+					nBoth++
+				}
+				nGPU++
+				if d := surf.DegGPU[i][j]; d >= 0.20 && d <= 0.40 {
+					nGPUBand++
+				}
+			}
+			if d := surf.DegGPU[i][j]; d > res.GPUMax {
+				res.GPUMax = d
+			}
+		}
+	}
+	if nCPU > 0 {
+		res.CPUFracBelow20 = float64(nBoth) / float64(nCPU)
+	}
+	if nGPU > 0 {
+		res.GPUIn20To40 = float64(nGPUBand) / float64(nGPU)
+	}
+	return res, nil
+}
+
+// WriteText renders both spectra as grids plus the headline statistics.
+func (r *SurfacesResult) WriteText(w io.Writer) error {
+	writeGrid := func(title string, table [][]float64) error {
+		if _, err := fmt.Fprintf(w, "%s (rows: CPU micro-kernel GB/s; cols: GPU micro-kernel GB/s)\n", title); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%7s", ""); err != nil {
+			return err
+		}
+		for _, g := range r.Surface.GPUBW {
+			if _, err := fmt.Fprintf(w, "%6.1f", g); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(w)
+		for i, row := range table {
+			if _, err := fmt.Fprintf(w, "%6.1f ", r.Surface.CPUBW[i]); err != nil {
+				return err
+			}
+			for _, v := range row {
+				if _, err := fmt.Fprintf(w, "%5.0f%%", 100*v); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	if err := writeGrid("Figure 5: CPU-side degradation", r.Surface.DegCPU); err != nil {
+		return err
+	}
+	if err := writeGrid("Figure 6: GPU-side degradation", r.Surface.DegGPU); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"CPU max degradation %.0f%% [paper ~65%%]; CPU <=20%% in %.0f%% of contended cells [paper ~half]\n"+
+			"GPU max degradation %.0f%% [paper ~45%%]; GPU in 20-40%% band for %.0f%% of contended cells\n",
+		100*r.CPUMax, 100*r.CPUFracBelow20, 100*r.GPUMax, 100*r.GPUIn20To40)
+	return err
+}

@@ -1,0 +1,77 @@
+// Package exp is the evaluation harness: one entry point per table and
+// figure of the paper's evaluation (section VI), each returning a typed
+// result with a text renderer, so that cmd/experiments and the root
+// benchmarks can regenerate the entire evaluation.
+//
+// The per-experiment index lives in DESIGN.md; EXPERIMENTS.md records
+// paper-versus-measured values produced by this package.
+package exp
+
+import (
+	"fmt"
+
+	"corun/internal/apu"
+	"corun/internal/core"
+	"corun/internal/memsys"
+	"corun/internal/model"
+	"corun/internal/profile"
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+// Suite bundles the machine, the contention model, and the one-time
+// micro-benchmark characterization that all experiments share.
+type Suite struct {
+	Cfg  *apu.Config
+	Mem  *memsys.Model
+	Char *model.Characterization
+}
+
+// NewSuite builds the default machine and runs the characterization
+// pass (the offline stage of section V).
+func NewSuite() (*Suite, error) {
+	cfg := apu.DefaultConfig()
+	mem := memsys.Default()
+	char, err := model.Characterize(model.CharacterizeOptions{Cfg: cfg, Mem: mem})
+	if err != nil {
+		return nil, err
+	}
+	return &Suite{Cfg: cfg, Mem: mem, Char: char}, nil
+}
+
+// context assembles the prediction pipeline and scheduling context for
+// a batch under a cap.
+func (s *Suite) context(batch []*workload.Instance, cap units.Watts) (*core.Context, *model.Predictor, error) {
+	prof, err := profile.Collect(s.Cfg, s.Mem, batch)
+	if err != nil {
+		return nil, nil, err
+	}
+	pred, err := model.NewPredictor(s.Char, prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	cx, err := core.NewContext(pred, s.Cfg, cap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cx, pred, nil
+}
+
+// execOptions builds the simulator-facing execution options.
+func (s *Suite) execOptions(cap units.Watts) core.ExecOptions {
+	return core.ExecOptions{Cfg: s.Cfg, Mem: s.Mem, Cap: cap}
+}
+
+// maxFreqs returns the maximum frequency indices of both devices.
+func (s *Suite) maxFreqs() (int, int) {
+	return s.Cfg.MaxFreqIndex(apu.CPU), s.Cfg.MaxFreqIndex(apu.GPU)
+}
+
+// mediumFreqs returns the paper's medium setting: 2.2 GHz CPU,
+// 0.85 GHz GPU.
+func (s *Suite) mediumFreqs() (int, int) {
+	return s.Cfg.ClosestFreqIndex(apu.CPU, 2.2), s.Cfg.ClosestFreqIndex(apu.GPU, 0.85)
+}
+
+// pct formats a fraction as a signed percentage.
+func pct(f float64) string { return fmt.Sprintf("%+.1f%%", 100*f) }

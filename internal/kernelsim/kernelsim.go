@@ -1,0 +1,196 @@
+// Package kernelsim models the execution of OpenCL-style kernels on the
+// simulated integrated processor.
+//
+// A Program is a phase-structured analytic model of one benchmark: a
+// total amount of abstract work (giga-operations), per-device execution
+// efficiencies (how many Gops/s one GHz of clock buys), per-device
+// memory latency sensitivities, and a sequence of phases that each move
+// a characteristic number of bytes per operation.
+//
+// In any interval where the memory grant is known, a kernel's execution
+// rate is
+//
+//	rate = min(eff * freq, grant / bytesPerOp)
+//
+// i.e. the kernel is compute-bound until the granted bandwidth becomes
+// the bottleneck. Everything else in the simulator — co-run slowdowns,
+// DVFS effects, power-activity scaling — derives from this one rule.
+//
+// Phase structure matters: the paper's predictive model only sees a
+// program's average standalone bandwidth, while the ground truth
+// executes each phase at its own intensity. The mismatch is a genuine,
+// structural source of prediction error, just as on real hardware.
+package kernelsim
+
+import (
+	"fmt"
+	"math"
+
+	"corun/internal/apu"
+	"corun/internal/memsys"
+	"corun/internal/units"
+)
+
+// Phase is one execution phase of a program.
+type Phase struct {
+	// Frac is the fraction of the program's total work done in this
+	// phase. Fractions across a program sum to 1.
+	Frac float64
+
+	// BytesPerOp is the phase's memory intensity: bytes moved per
+	// abstract operation. Zero means a purely compute phase.
+	BytesPerOp float64
+}
+
+// Program is the analytic model of one benchmark.
+type Program struct {
+	// Name identifies the benchmark (e.g. "dwt2d").
+	Name string
+
+	// Work is the total abstract work in giga-operations at the
+	// reference input size.
+	Work units.GOps
+
+	// CPUEff and GPUEff are execution efficiencies: achievable
+	// Gops/s per GHz of device clock, absent memory stalls.
+	CPUEff float64
+	GPUEff float64
+
+	// CPUSens and GPUSens are the program's memory latency
+	// sensitivities on each device (see memsys.Demand).
+	CPUSens float64
+	GPUSens float64
+
+	// Phases is the program's phase sequence, executed in order.
+	Phases []Phase
+}
+
+// Validate checks the program model for consistency.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("kernelsim: program without a name")
+	}
+	if p.Work <= 0 {
+		return fmt.Errorf("kernelsim: %s: non-positive work %v", p.Name, p.Work)
+	}
+	if p.CPUEff <= 0 || p.GPUEff <= 0 {
+		return fmt.Errorf("kernelsim: %s: efficiencies must be positive", p.Name)
+	}
+	if p.CPUSens < 0 || p.GPUSens < 0 {
+		return fmt.Errorf("kernelsim: %s: sensitivities must be non-negative", p.Name)
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("kernelsim: %s: no phases", p.Name)
+	}
+	sum := 0.0
+	for i, ph := range p.Phases {
+		if ph.Frac <= 0 {
+			return fmt.Errorf("kernelsim: %s: phase %d has non-positive fraction", p.Name, i)
+		}
+		if ph.BytesPerOp < 0 {
+			return fmt.Errorf("kernelsim: %s: phase %d has negative intensity", p.Name, i)
+		}
+		sum += ph.Frac
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("kernelsim: %s: phase fractions sum to %v, want 1", p.Name, sum)
+	}
+	return nil
+}
+
+// Eff returns the execution efficiency of the program on device d.
+func (p *Program) Eff(d apu.Device) float64 {
+	if d == apu.CPU {
+		return p.CPUEff
+	}
+	return p.GPUEff
+}
+
+// Sens returns the memory latency sensitivity of the program on d.
+func (p *Program) Sens(d apu.Device) float64 {
+	if d == apu.CPU {
+		return p.CPUSens
+	}
+	return p.GPUSens
+}
+
+// PotentialRate is the stall-free execution rate (Gops/s) on device d
+// at clock f.
+func (p *Program) PotentialRate(d apu.Device, f units.GHz) float64 {
+	return p.Eff(d) * float64(f)
+}
+
+// PhaseDemand is the unconstrained bandwidth demand (GB/s) of phase i
+// on device d at clock f.
+func (p *Program) PhaseDemand(i int, d apu.Device, f units.GHz) units.GBps {
+	return units.GBps(p.PotentialRate(d, f) * p.Phases[i].BytesPerOp)
+}
+
+// RateGivenGrant computes the achieved execution rate when the memory
+// system grants the phase `grant` GB/s: the compute rate capped by the
+// bandwidth bottleneck. A zero-intensity phase never stalls.
+func RateGivenGrant(potential float64, bytesPerOp float64, grant units.GBps) float64 {
+	if bytesPerOp <= 0 {
+		return potential
+	}
+	return math.Min(potential, float64(grant)/bytesPerOp)
+}
+
+// StandaloneTime returns the program's solo execution time on device d
+// at clock f, with work scaled by scale (input size), against the given
+// memory system. Each phase runs at the minimum of its compute rate and
+// the solo-capped bandwidth rate.
+func (p *Program) StandaloneTime(d apu.Device, f units.GHz, mem *memsys.Model, scale float64) units.Seconds {
+	r0 := p.PotentialRate(d, f)
+	total := 0.0
+	for i, ph := range p.Phases {
+		demand := p.PhaseDemand(i, d, f)
+		grant := mem.Solo(soloFor(d), demand)
+		rate := RateGivenGrant(r0, ph.BytesPerOp, grant)
+		total += float64(p.Work) * scale * ph.Frac / rate
+	}
+	return units.Seconds(total)
+}
+
+// StandaloneUtilization returns the time-averaged utilization (achieved
+// rate over potential rate) of a solo run on d at f. It feeds the power
+// model: a bandwidth-bound program burns less dynamic power.
+func (p *Program) StandaloneUtilization(d apu.Device, f units.GHz, mem *memsys.Model) float64 {
+	r0 := p.PotentialRate(d, f)
+	timeTotal, busyTotal := 0.0, 0.0
+	for i, ph := range p.Phases {
+		demand := p.PhaseDemand(i, d, f)
+		grant := mem.Solo(soloFor(d), demand)
+		rate := RateGivenGrant(r0, ph.BytesPerOp, grant)
+		t := ph.Frac / rate // per unit of work; weighting is all that matters
+		timeTotal += t
+		busyTotal += t * rate / r0
+	}
+	return busyTotal / timeTotal
+}
+
+// AvgStandaloneBandwidth returns the time-averaged achieved memory
+// bandwidth (GB/s) of a solo run on d at f: total bytes moved divided
+// by total time. This is the statistic the paper's predictive model
+// interpolates with.
+func (p *Program) AvgStandaloneBandwidth(d apu.Device, f units.GHz, mem *memsys.Model) units.GBps {
+	r0 := p.PotentialRate(d, f)
+	timeTotal, bytesTotal := 0.0, 0.0
+	for i, ph := range p.Phases {
+		demand := p.PhaseDemand(i, d, f)
+		grant := mem.Solo(soloFor(d), demand)
+		rate := RateGivenGrant(r0, ph.BytesPerOp, grant)
+		t := ph.Frac / rate
+		timeTotal += t
+		bytesTotal += ph.Frac * ph.BytesPerOp
+	}
+	return units.GBps(bytesTotal / timeTotal)
+}
+
+// soloFor maps an apu device to the memsys solo selector.
+func soloFor(d apu.Device) memsys.SoloDevice {
+	if d == apu.CPU {
+		return memsys.SoloCPU
+	}
+	return memsys.SoloGPU
+}

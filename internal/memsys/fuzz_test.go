@@ -1,0 +1,50 @@
+package memsys
+
+import (
+	"math"
+	"testing"
+
+	"corun/internal/units"
+)
+
+// FuzzArbitrate checks the arbitration invariants over arbitrary
+// demands and sensitivities (run `go test -fuzz=FuzzArbitrate` to
+// explore beyond the seed corpus).
+func FuzzArbitrate(f *testing.F) {
+	f.Add(5.0, 5.0, 0.2, 0.1)
+	f.Add(11.0, 11.0, 0.25, 0.3)
+	f.Add(0.0, 8.0, 0.0, 0.0)
+	f.Add(6.5, 8.2, 1.35, 0.0)
+	f.Add(-3.0, 4.0, 0.5, 0.5)
+	m := Default()
+	f.Fuzz(func(t *testing.T, dc, dg, cs, gs float64) {
+		for _, v := range []float64{dc, dg, cs, gs} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				t.Skip()
+			}
+		}
+		d := Demand{CPU: units.GBps(dc), GPU: units.GBps(dg), CPUSens: cs, GPUSens: gs}
+		g := m.Arbitrate(d)
+		if g.CPU < 0 || g.GPU < 0 {
+			t.Fatalf("negative grant %+v for %+v", g, d)
+		}
+		if math.IsNaN(float64(g.CPU)) || math.IsNaN(float64(g.GPU)) {
+			t.Fatalf("NaN grant %+v for %+v", g, d)
+		}
+		clippedC := math.Min(math.Max(dc, 0), m.Params().SoloCapCPU)
+		clippedG := math.Min(math.Max(dg, 0), m.Params().SoloCapGPU)
+		if float64(g.CPU) > clippedC+1e-9 || float64(g.GPU) > clippedG+1e-9 {
+			t.Fatalf("grant %+v exceeds clipped demand (%v,%v)", g, clippedC, clippedG)
+		}
+		if float64(g.CPU+g.GPU) > m.Params().CombinedPeak+1e-9 {
+			t.Fatalf("total grant %v exceeds peak", g.CPU+g.GPU)
+		}
+		// Sensitivities outside the calibrated range may make the
+		// degradation definitions meaningless, but never non-finite.
+		dcpu := m.DegradationCPU(d)
+		dgpu := m.DegradationGPU(d)
+		if math.IsNaN(dcpu) || math.IsNaN(dgpu) {
+			t.Fatalf("NaN degradation for %+v", d)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+// Package memsys models the shared memory system of the integrated
+// processor: the single path from both devices through the last-level
+// cache to DRAM.
+//
+// The model reproduces the asymmetric contention behaviour the paper
+// measures on real hardware (Figures 5 and 6):
+//
+//   - the GPU, whose in-order SIMD units hide latency with massive
+//     threading, degrades moderately (20-40%) across most of the demand
+//     space but is favoured by the memory controller under saturation;
+//   - the CPU tolerates light co-run traffic well (under 20% degradation
+//     in about half the space) but collapses when the combined demand
+//     saturates the controller, with worst-case degradation exceeding
+//     the GPU's worst case;
+//   - two devices together can extract more total bandwidth from the
+//     controller than either alone (more bank-level parallelism), so
+//     the combined capacity exceeds the solo streaming cap.
+//
+// The model is intentionally richer than the bilinear degradation space
+// the paper's predictive model assumes: per-program latency sensitivity
+// and the saturation nonlinearity are invisible to a predictor that only
+// knows average standalone bandwidth, which is exactly the source of the
+// prediction error the paper reports in Figure 7.
+package memsys
+
+import (
+	"fmt"
+	"math"
+
+	"corun/internal/units"
+)
+
+// Params are the calibration constants of the contention model. See
+// DESIGN.md §5 for the calibration targets.
+type Params struct {
+	// CombinedPeak is the total bandwidth (GB/s) the controller can
+	// serve when both devices stream together (bank-level parallelism
+	// exceeds the single-device cap).
+	CombinedPeak float64
+
+	// SoloCapCPU and SoloCapGPU are the maximum bandwidths a single
+	// device can extract on its own.
+	SoloCapCPU float64
+	SoloCapGPU float64
+
+	// Kappa is the fractional capacity loss caused by row-buffer
+	// conflicts between interleaved request streams; it scales with
+	// the smaller of the two demands.
+	Kappa float64
+
+	// CPUQueueBase and GPUQueueBase are the baseline queueing
+	// sensitivities of each device; a program's own MemSensitivity is
+	// added on top.
+	CPUQueueBase float64
+	GPUQueueBase float64
+
+	// BetaCPU and BetaGPU shape how each device's service shrinks
+	// under saturation: the grant scales with scarcity^beta, so a
+	// larger beta means the device loses more. BetaCPU > BetaGPU
+	// encodes the controller's GPU-favouring arbitration.
+	BetaCPU float64
+	BetaGPU float64
+
+	// LLCWeight scales the shared last-level-cache interference term:
+	// a co-runner's traffic evicts lines and costs extra DRAM trips.
+	// The paper (citing Zhuravlev et al. and confirming on both Intel
+	// and AMD parts) finds this secondary to memory-access contention;
+	// the default is calibrated accordingly and a test pins the claim.
+	LLCWeight float64
+}
+
+// DefaultParams returns the calibrated contention constants.
+func DefaultParams() Params {
+	return Params{
+		CombinedPeak: 15.5,
+		SoloCapCPU:   11.0,
+		SoloCapGPU:   11.0,
+		Kappa:        0.12,
+		CPUQueueBase: 0.15,
+		GPUQueueBase: 0.10,
+		BetaCPU:      1.1,
+		BetaGPU:      0.4,
+		LLCWeight:    0.03,
+	}
+}
+
+// Validate checks the parameters for consistency.
+func (p Params) Validate() error {
+	if p.CombinedPeak <= 0 || p.SoloCapCPU <= 0 || p.SoloCapGPU <= 0 {
+		return fmt.Errorf("memsys: bandwidth caps must be positive")
+	}
+	if p.SoloCapCPU > p.CombinedPeak || p.SoloCapGPU > p.CombinedPeak {
+		return fmt.Errorf("memsys: solo caps must not exceed the combined peak")
+	}
+	if p.Kappa < 0 || p.Kappa >= 1 {
+		return fmt.Errorf("memsys: Kappa %v outside [0,1)", p.Kappa)
+	}
+	if p.CPUQueueBase < 0 || p.GPUQueueBase < 0 {
+		return fmt.Errorf("memsys: queue sensitivities must be non-negative")
+	}
+	if p.BetaCPU <= 0 || p.BetaGPU <= 0 {
+		return fmt.Errorf("memsys: beta exponents must be positive")
+	}
+	if p.LLCWeight < 0 {
+		return fmt.Errorf("memsys: negative LLCWeight %v", p.LLCWeight)
+	}
+	return nil
+}
+
+// Model arbitrates memory bandwidth between the two devices.
+type Model struct {
+	p Params
+}
+
+// New returns a contention model with the given parameters.
+func New(p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{p: p}, nil
+}
+
+// MustNew is New for known-good parameters; it panics on invalid input.
+func MustNew(p Params) *Model {
+	m, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Default returns a model with DefaultParams.
+func Default() *Model { return MustNew(DefaultParams()) }
+
+// Params returns a copy of the model's calibration constants.
+func (m *Model) Params() Params { return m.p }
+
+// Demand describes the instantaneous bandwidth appetite of the two
+// devices. A zero demand means the device is idle or compute-only.
+type Demand struct {
+	// CPU and GPU are the unconstrained bandwidth demands in GB/s:
+	// what each device would consume were the memory system infinitely
+	// fast.
+	CPU units.GBps
+	GPU units.GBps
+
+	// CPUSens and GPUSens are the latency sensitivities of the
+	// programs currently running on each device (>= 0). A pointer-
+	// chasing CPU code has high sensitivity; a massively threaded GPU
+	// kernel has low sensitivity.
+	CPUSens float64
+	GPUSens float64
+}
+
+// Grant is the bandwidth actually served to each device.
+type Grant struct {
+	CPU units.GBps
+	GPU units.GBps
+}
+
+// Solo returns the bandwidth granted to a single device running alone
+// with the given demand: the demand clipped to the solo streaming cap.
+func (m *Model) Solo(dev SoloDevice, demand units.GBps) units.GBps {
+	cap := m.p.SoloCapCPU
+	if dev == SoloGPU {
+		cap = m.p.SoloCapGPU
+	}
+	return units.GBps(math.Min(float64(demand), cap))
+}
+
+// SoloDevice selects the device for Solo without importing apu (memsys
+// sits below apu consumers in the dependency order).
+type SoloDevice int
+
+// Solo device selectors.
+const (
+	SoloCPU SoloDevice = iota
+	SoloGPU
+)
+
+// Arbitrate returns the bandwidth granted to each device under co-run
+// contention. The model proceeds in three steps:
+//
+//  1. solo clipping — neither device can exceed its solo streaming cap;
+//  2. queueing interference — each device's achievable service shrinks
+//     by a latency factor that grows with the other device's traffic
+//     and the device's own sensitivity;
+//  3. saturation — if the latency-adjusted demands exceed the co-run
+//     capacity, both shrink with scarcity^beta (GPU-favouring) and are
+//     rescaled to exactly fill the capacity.
+func (m *Model) Arbitrate(d Demand) Grant {
+	dc := math.Min(math.Max(float64(d.CPU), 0), m.p.SoloCapCPU)
+	dg := math.Min(math.Max(float64(d.GPU), 0), m.p.SoloCapGPU)
+
+	// Degenerate cases: only one device is demanding bandwidth.
+	if dc == 0 && dg == 0 {
+		return Grant{}
+	}
+	if dg == 0 {
+		return Grant{CPU: units.GBps(dc)}
+	}
+	if dc == 0 {
+		return Grant{GPU: units.GBps(dg)}
+	}
+
+	peak := m.p.CombinedPeak
+
+	// Step 2: queueing interference, plus the (secondary) LLC
+	// eviction term: the co-runner's traffic costs extra DRAM trips.
+	cpuCoef := (m.p.CPUQueueBase+math.Max(d.CPUSens, 0))*(dg/peak) + m.p.LLCWeight*(dg/peak)
+	gpuCoef := (m.p.GPUQueueBase+math.Max(d.GPUSens, 0))*(dg/peak)*(dc/peak) + m.p.LLCWeight*(dc/peak)
+	ac := dc / (1 + cpuCoef)
+	ag := dg / (1 + gpuCoef)
+
+	// Step 3: saturation against the conflict-reduced capacity.
+	capacity := peak * (1 - m.p.Kappa*math.Min(dc, dg)/peak)
+	total := ac + ag
+	if total <= capacity {
+		return Grant{CPU: units.GBps(ac), GPU: units.GBps(ag)}
+	}
+	scarcity := capacity / total
+	rc := ac * math.Pow(scarcity, m.p.BetaCPU)
+	rg := ag * math.Pow(scarcity, m.p.BetaGPU)
+	scale := capacity / (rc + rg)
+	gc := math.Min(rc*scale, ac)
+	gg := math.Min(rg*scale, ag)
+	return Grant{CPU: units.GBps(gc), GPU: units.GBps(gg)}
+}
+
+// DegradationCPU returns the fractional bandwidth loss of the CPU side
+// under the given co-run demand: 1 - grant/demand, in [0,1]. Demands at
+// or below zero degrade by definition zero.
+func (m *Model) DegradationCPU(d Demand) float64 {
+	if d.CPU <= 0 {
+		return 0
+	}
+	solo := m.Solo(SoloCPU, d.CPU)
+	g := m.Arbitrate(d)
+	return units.Clamp(1-float64(g.CPU)/float64(solo), 0, 1)
+}
+
+// DegradationGPU is DegradationCPU for the GPU side.
+func (m *Model) DegradationGPU(d Demand) float64 {
+	if d.GPU <= 0 {
+		return 0
+	}
+	solo := m.Solo(SoloGPU, d.GPU)
+	g := m.Arbitrate(d)
+	return units.Clamp(1-float64(g.GPU)/float64(solo), 0, 1)
+}

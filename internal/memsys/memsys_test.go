@@ -1,0 +1,319 @@
+package memsys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"corun/internal/units"
+)
+
+// microSens are the latency sensitivities of the micro-benchmark used
+// to characterize the degradation space (streaming code: low on CPU,
+// moderate on GPU because of the immature driver's scheduling).
+const (
+	microCPUSens = 0.25
+	microGPUSens = 0.30
+)
+
+func microDemand(dc, dg float64) Demand {
+	return Demand{CPU: units.GBps(dc), GPU: units.GBps(dg), CPUSens: microCPUSens, GPUSens: microGPUSens}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero peak", func(p *Params) { p.CombinedPeak = 0 }},
+		{"solo above peak", func(p *Params) { p.SoloCapCPU = p.CombinedPeak + 1 }},
+		{"negative kappa", func(p *Params) { p.Kappa = -0.1 }},
+		{"kappa one", func(p *Params) { p.Kappa = 1 }},
+		{"negative queue", func(p *Params) { p.CPUQueueBase = -1 }},
+		{"zero beta", func(p *Params) { p.BetaGPU = 0 }},
+	}
+	for _, m := range mutations {
+		p := DefaultParams()
+		m.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted broken params", m.name)
+		}
+		if _, err := New(p); err == nil {
+			t.Errorf("%s: New accepted broken params", m.name)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew on invalid params did not panic")
+		}
+	}()
+	MustNew(Params{})
+}
+
+func TestSoloClipping(t *testing.T) {
+	m := Default()
+	if got := m.Solo(SoloCPU, 5); got != 5 {
+		t.Errorf("Solo below cap = %v, want 5", got)
+	}
+	if got := m.Solo(SoloCPU, 20); float64(got) != m.Params().SoloCapCPU {
+		t.Errorf("Solo above cap = %v, want %v", got, m.Params().SoloCapCPU)
+	}
+}
+
+func TestArbitrateDegenerate(t *testing.T) {
+	m := Default()
+	if g := m.Arbitrate(Demand{}); g.CPU != 0 || g.GPU != 0 {
+		t.Errorf("no demand should grant nothing, got %+v", g)
+	}
+	g := m.Arbitrate(Demand{CPU: 7})
+	if g.CPU != 7 || g.GPU != 0 {
+		t.Errorf("CPU-only demand: got %+v, want CPU 7", g)
+	}
+	g = m.Arbitrate(Demand{GPU: 9})
+	if g.GPU != 9 || g.CPU != 0 {
+		t.Errorf("GPU-only demand: got %+v, want GPU 9", g)
+	}
+	// Negative demands are treated as zero.
+	g = m.Arbitrate(Demand{CPU: -3, GPU: 4})
+	if g.CPU != 0 || g.GPU != 4 {
+		t.Errorf("negative demand: got %+v, want CPU 0 GPU 4", g)
+	}
+}
+
+func TestGrantsNeverExceedDemand(t *testing.T) {
+	m := Default()
+	for dc := 0.0; dc <= 11; dc += 1.1 {
+		for dg := 0.0; dg <= 11; dg += 1.1 {
+			g := m.Arbitrate(microDemand(dc, dg))
+			if float64(g.CPU) > dc+1e-9 {
+				t.Fatalf("CPU grant %v exceeds demand %v", g.CPU, dc)
+			}
+			if float64(g.GPU) > dg+1e-9 {
+				t.Fatalf("GPU grant %v exceeds demand %v", g.GPU, dg)
+			}
+		}
+	}
+}
+
+func TestGrantsNeverExceedCombinedPeak(t *testing.T) {
+	m := Default()
+	for dc := 0.0; dc <= 11; dc += 0.5 {
+		for dg := 0.0; dg <= 11; dg += 0.5 {
+			g := m.Arbitrate(microDemand(dc, dg))
+			if float64(g.CPU+g.GPU) > m.Params().CombinedPeak+1e-9 {
+				t.Fatalf("total grant %v exceeds combined peak at (%v,%v)", g.CPU+g.GPU, dc, dg)
+			}
+		}
+	}
+}
+
+// Figure 5/6 calibration: at the top corner of the micro-benchmark grid
+// (11,11 GB/s) the CPU's slowdown must clearly exceed the GPU's, with
+// the CPU in the paper's ~65% degradation region and the GPU in ~45%.
+// Slowdown here is demand/grant - 1 for a bandwidth-bound kernel.
+func TestTopCornerAsymmetry(t *testing.T) {
+	m := Default()
+	g := m.Arbitrate(microDemand(11, 11))
+	cpuSlow := 11/float64(g.CPU) - 1
+	gpuSlow := 11/float64(g.GPU) - 1
+	if cpuSlow <= gpuSlow {
+		t.Errorf("CPU slowdown %.2f should exceed GPU slowdown %.2f at saturation", cpuSlow, gpuSlow)
+	}
+	if cpuSlow < 0.50 || cpuSlow > 0.90 {
+		t.Errorf("CPU worst-case slowdown = %.2f, want around 0.65 (in [0.50,0.90])", cpuSlow)
+	}
+	if gpuSlow < 0.30 || gpuSlow > 0.55 {
+		t.Errorf("GPU worst-case slowdown = %.2f, want around 0.45 (in [0.30,0.55])", gpuSlow)
+	}
+}
+
+// The GPU suffers moderate degradation across the mid demand range
+// (the 20-40% band of Figure 6) once contention is meaningful.
+func TestGPUMidRangeBand(t *testing.T) {
+	m := Default()
+	g := m.Arbitrate(microDemand(9, 9))
+	gpuSlow := 9/float64(g.GPU) - 1
+	if gpuSlow < 0.15 || gpuSlow > 0.45 {
+		t.Errorf("GPU slowdown at (9,9) = %.2f, want in [0.15,0.45]", gpuSlow)
+	}
+}
+
+// The CPU tolerates light-to-moderate co-run traffic: below saturation
+// its slowdown stays modest (the <=20% half of Figure 5).
+func TestCPULightTrafficTolerance(t *testing.T) {
+	m := Default()
+	for _, dg := range []float64{2, 4, 5.5} {
+		g := m.Arbitrate(microDemand(4, dg))
+		slow := 4/float64(g.CPU) - 1
+		if slow > 0.20 {
+			t.Errorf("CPU slowdown at (4,%v) = %.2f, want <= 0.20", dg, slow)
+		}
+	}
+}
+
+// Higher-throughput executions suffer larger slowdowns (the paper's
+// observation about both figures): degradation grows with the
+// co-runner's demand.
+func TestDegradationMonotoneInCoRunnerDemand(t *testing.T) {
+	m := Default()
+	prevCPU, prevGPU := -1.0, -1.0
+	for dg := 0.0; dg <= 11; dg += 1.0 {
+		dcpu := m.DegradationCPU(microDemand(8, dg))
+		if dcpu+1e-9 < prevCPU {
+			t.Fatalf("CPU degradation decreased as GPU demand grew: %v -> %v at dg=%v", prevCPU, dcpu, dg)
+		}
+		prevCPU = dcpu
+		dgpu := m.DegradationGPU(microDemand(dg, 8))
+		if dgpu+1e-9 < prevGPU {
+			t.Fatalf("GPU degradation decreased as CPU demand grew: %v -> %v at dc=%v", prevGPU, dgpu, dg)
+		}
+		prevGPU = dgpu
+	}
+}
+
+// A high-sensitivity CPU program (dwt2d-like) is crushed by a heavy GPU
+// streamer while the streamer barely notices — the section III anecdote
+// (81% vs 5% slowdown).
+func TestLatencySensitiveCPUCrushed(t *testing.T) {
+	m := Default()
+	d := Demand{CPU: 6.5, GPU: 8.2, CPUSens: 1.35, GPUSens: 0}
+	g := m.Arbitrate(d)
+	cpuSlow := 6.5/float64(g.CPU) - 1
+	gpuSlow := 8.2/float64(g.GPU) - 1
+	if cpuSlow < 0.60 || cpuSlow > 1.10 {
+		t.Errorf("sensitive CPU slowdown = %.2f, want around 0.81 (in [0.60,1.10])", cpuSlow)
+	}
+	if gpuSlow > 0.12 {
+		t.Errorf("tolerant GPU slowdown = %.2f, want <= 0.12", gpuSlow)
+	}
+}
+
+// The same sensitive CPU program beside a low-demand GPU job (hotspot-
+// like) suffers only mildly — the paper's 17% pairing.
+func TestLatencySensitiveCPUWithQuietCoRunner(t *testing.T) {
+	m := Default()
+	d := Demand{CPU: 6.5, GPU: 2.0, CPUSens: 1.35, GPUSens: 0}
+	g := m.Arbitrate(d)
+	cpuSlow := 6.5/float64(g.CPU) - 1
+	if cpuSlow < 0.05 || cpuSlow > 0.30 {
+		t.Errorf("sensitive CPU slowdown beside quiet GPU = %.2f, want around 0.17", cpuSlow)
+	}
+}
+
+// The LLC interference term is secondary: zeroing it shifts
+// degradations by only a few points, reproducing the paper's claim
+// that memory-access contention (not LLC contention) dominates.
+func TestLLCTermSecondary(t *testing.T) {
+	withLLC := Default()
+	noLLCParams := DefaultParams()
+	noLLCParams.LLCWeight = 0
+	noLLC := MustNew(noLLCParams)
+	maxDelta := 0.0
+	for dc := 1.1; dc <= 11; dc += 2.2 {
+		for dg := 1.1; dg <= 11; dg += 2.2 {
+			d := microDemand(dc, dg)
+			deltaCPU := math.Abs(withLLC.DegradationCPU(d) - noLLC.DegradationCPU(d))
+			deltaGPU := math.Abs(withLLC.DegradationGPU(d) - noLLC.DegradationGPU(d))
+			maxDelta = math.Max(maxDelta, math.Max(deltaCPU, deltaGPU))
+		}
+	}
+	if maxDelta > 0.06 {
+		t.Errorf("LLC term shifts degradations by up to %.3f; it should be secondary (<0.06)", maxDelta)
+	}
+	if maxDelta == 0 {
+		t.Error("LLC term has no effect at all; the weight is not wired in")
+	}
+}
+
+// Negative LLC weights are rejected.
+func TestLLCWeightValidation(t *testing.T) {
+	p := DefaultParams()
+	p.LLCWeight = -0.1
+	if err := p.Validate(); err == nil {
+		t.Error("negative LLC weight accepted")
+	}
+}
+
+// Together the devices extract more bandwidth than the solo cap when
+// both are saturated (bank-level parallelism).
+func TestCombinedExceedsSoloCap(t *testing.T) {
+	m := Default()
+	g := m.Arbitrate(microDemand(11, 11))
+	if total := float64(g.CPU + g.GPU); total <= m.Params().SoloCapCPU {
+		t.Errorf("combined grant %v should exceed the solo cap %v", total, m.Params().SoloCapCPU)
+	}
+}
+
+func TestDegradationZeroWhenIdle(t *testing.T) {
+	m := Default()
+	if d := m.DegradationCPU(Demand{GPU: 11}); d != 0 {
+		t.Errorf("idle CPU degradation = %v, want 0", d)
+	}
+	if d := m.DegradationGPU(Demand{CPU: 11}); d != 0 {
+		t.Errorf("idle GPU degradation = %v, want 0", d)
+	}
+}
+
+// Property: grants are non-negative, never exceed (clipped) demand,
+// never exceed the combined peak, and degradations stay in [0,1] for
+// arbitrary demands and sensitivities.
+func TestArbitrateInvariantsProperty(t *testing.T) {
+	m := Default()
+	f := func(dcRaw, dgRaw, csRaw, gsRaw uint16) bool {
+		d := Demand{
+			CPU:     units.GBps(float64(dcRaw) / 65535 * 14),
+			GPU:     units.GBps(float64(dgRaw) / 65535 * 14),
+			CPUSens: float64(csRaw) / 65535 * 2,
+			GPUSens: float64(gsRaw) / 65535 * 2,
+		}
+		g := m.Arbitrate(d)
+		if g.CPU < 0 || g.GPU < 0 {
+			return false
+		}
+		if float64(g.CPU) > math.Min(float64(d.CPU), m.Params().SoloCapCPU)+1e-9 {
+			return false
+		}
+		if float64(g.GPU) > math.Min(float64(d.GPU), m.Params().SoloCapGPU)+1e-9 {
+			return false
+		}
+		if float64(g.CPU+g.GPU) > m.Params().CombinedPeak+1e-9 {
+			return false
+		}
+		dc := m.DegradationCPU(d)
+		dg := m.DegradationGPU(d)
+		return dc >= 0 && dc <= 1 && dg >= 0 && dg <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a more sensitive CPU program never receives more bandwidth
+// than a less sensitive one under identical demands.
+func TestSensitivityMonotoneProperty(t *testing.T) {
+	m := Default()
+	f := func(dcRaw, dgRaw, s1Raw, s2Raw uint16) bool {
+		dc := float64(dcRaw)/65535*10 + 0.5
+		dg := float64(dgRaw)/65535*10 + 0.5
+		s1 := float64(s1Raw) / 65535 * 2
+		s2 := float64(s2Raw) / 65535 * 2
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		g1 := m.Arbitrate(Demand{CPU: units.GBps(dc), GPU: units.GBps(dg), CPUSens: s1})
+		g2 := m.Arbitrate(Demand{CPU: units.GBps(dc), GPU: units.GBps(dg), CPUSens: s2})
+		return g2.CPU <= g1.CPU+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package model implements the paper's co-run performance and power
+// prediction (section V): micro-benchmark characterization of the
+// degradation space plus staged interpolation.
+//
+// Characterization runs the controllable micro-kernel at a grid of
+// bandwidth levels on each device and co-runs every pair, measuring the
+// time degradation of each side on the ground-truth simulator — the
+// software analogue of profiling the stressor on real hardware. One
+// degradation surface pair (CPU-side, GPU-side) is collected per
+// characterized frequency pair.
+//
+// Prediction is a two-stage interpolation. To predict the degradation
+// of job i (on one device at level f) co-running with job j (on the
+// other device at level g):
+//
+//  1. look up both jobs' standalone average bandwidths at their
+//     operating points (from the offline profile) and bilinearly
+//     interpolate each bracketing characterization surface in the
+//     (cpu-bandwidth, gpu-bandwidth) plane;
+//  2. bilinearly interpolate those surface values across the
+//     characterized frequency grid to the actual frequency pair.
+//
+// This keeps profiling cost at O(K_c^2 * L^2) micro-kernel co-runs
+// (K_c characterized levels per device, L bandwidth levels) instead of
+// O(N^2 * K^2) real-program co-runs.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"corun/internal/apu"
+	"corun/internal/memsys"
+	"corun/internal/microbench"
+	"corun/internal/sim"
+	"corun/internal/units"
+)
+
+// Surface is one characterized degradation surface pair at a fixed
+// frequency pair.
+type Surface struct {
+	// CPUFreq and GPUFreq are the frequency indices this surface was
+	// characterized at.
+	CPUFreq int
+	GPUFreq int
+
+	// CPUBW[i] is the achieved standalone bandwidth of the i-th
+	// micro-kernel level on the CPU at CPUFreq (ascending); GPUBW
+	// likewise for the GPU.
+	CPUBW []float64
+	GPUBW []float64
+
+	// DegCPU[i][j] is the time degradation of the CPU-side micro-kernel
+	// at level i when the GPU-side runs at level j; DegGPU[i][j] is the
+	// GPU side's degradation for the same pair.
+	DegCPU [][]float64
+	DegGPU [][]float64
+}
+
+// valueAt bilinearly interpolates one of the surface's tables at the
+// given bandwidth coordinates, clamping outside the grid.
+func (s *Surface) valueAt(table [][]float64, cpuBW, gpuBW float64) float64 {
+	i0, i1, tx := bracket(s.CPUBW, cpuBW)
+	j0, j1, ty := bracket(s.GPUBW, gpuBW)
+	v0 := units.Lerp(table[i0][j0], table[i0][j1], ty)
+	v1 := units.Lerp(table[i1][j0], table[i1][j1], ty)
+	return units.Lerp(v0, v1, tx)
+}
+
+// DegradationCPUAt interpolates the CPU-side degradation at the given
+// standalone bandwidths.
+func (s *Surface) DegradationCPUAt(cpuBW, gpuBW float64) float64 {
+	return s.valueAt(s.DegCPU, cpuBW, gpuBW)
+}
+
+// DegradationGPUAt interpolates the GPU-side degradation.
+func (s *Surface) DegradationGPUAt(cpuBW, gpuBW float64) float64 {
+	return s.valueAt(s.DegGPU, cpuBW, gpuBW)
+}
+
+// bracket finds indices i0 <= i1 and the interpolation weight t such
+// that xs[i0] <= x <= xs[i1] (clamped at the edges). xs is ascending.
+func bracket(xs []float64, x float64) (int, int, float64) {
+	n := len(xs)
+	if n == 1 || x <= xs[0] {
+		return 0, 0, 0
+	}
+	if x >= xs[n-1] {
+		return n - 1, n - 1, 0
+	}
+	hi := sort.SearchFloat64s(xs, x)
+	lo := hi - 1
+	span := xs[hi] - xs[lo]
+	if span <= 0 {
+		return lo, hi, 0
+	}
+	return lo, hi, (x - xs[lo]) / span
+}
+
+// Characterization is the full staged characterization: a sparse grid
+// of frequency pairs, each with one degradation surface pair.
+type Characterization struct {
+	// CPULevels and GPULevels are the characterized frequency indices
+	// (ascending).
+	CPULevels []int
+	GPULevels []int
+
+	// Surfaces[a][b] is the surface at (CPULevels[a], GPULevels[b]).
+	Surfaces [][]*Surface
+
+	// cpuFreqGHz/gpuFreqGHz cache the clock values of the levels for
+	// interpolation weights.
+	cpuFreqGHz []float64
+	gpuFreqGHz []float64
+}
+
+// CharacterizeOptions configures the characterization pass.
+type CharacterizeOptions struct {
+	Cfg *apu.Config
+	Mem *memsys.Model
+
+	// Levels are the micro-kernel bandwidth settings; nil defaults to
+	// the paper's 11 settings over 0-11 GB/s.
+	Levels []units.GBps
+
+	// CPUFreqLevels and GPUFreqLevels are the frequency indices to
+	// characterize at; nil defaults to {min, closest-to-median, max}.
+	CPUFreqLevels []int
+	GPUFreqLevels []int
+}
+
+func defaultFreqLevels(cfg *apu.Config, d apu.Device) []int {
+	max := cfg.MaxFreqIndex(d)
+	return []int{0, max / 2, max}
+}
+
+// Characterize runs the micro-kernel co-run grid on the ground-truth
+// simulator and assembles the staged characterization.
+func Characterize(opts CharacterizeOptions) (*Characterization, error) {
+	if opts.Cfg == nil || opts.Mem == nil {
+		return nil, fmt.Errorf("model: nil machine or memory model")
+	}
+	levels := opts.Levels
+	if levels == nil {
+		levels = microbench.DefaultLevels()
+	}
+	cpuLvls := opts.CPUFreqLevels
+	if cpuLvls == nil {
+		cpuLvls = defaultFreqLevels(opts.Cfg, apu.CPU)
+	}
+	gpuLvls := opts.GPUFreqLevels
+	if gpuLvls == nil {
+		gpuLvls = defaultFreqLevels(opts.Cfg, apu.GPU)
+	}
+	if err := checkAscending(cpuLvls, opts.Cfg.NumFreqs(apu.CPU)); err != nil {
+		return nil, fmt.Errorf("model: CPU levels: %w", err)
+	}
+	if err := checkAscending(gpuLvls, opts.Cfg.NumFreqs(apu.GPU)); err != nil {
+		return nil, fmt.Errorf("model: GPU levels: %w", err)
+	}
+
+	c := &Characterization{CPULevels: cpuLvls, GPULevels: gpuLvls}
+	for _, l := range cpuLvls {
+		c.cpuFreqGHz = append(c.cpuFreqGHz, float64(opts.Cfg.Freq(apu.CPU, l)))
+	}
+	for _, l := range gpuLvls {
+		c.gpuFreqGHz = append(c.gpuFreqGHz, float64(opts.Cfg.Freq(apu.GPU, l)))
+	}
+	c.Surfaces = make([][]*Surface, len(cpuLvls))
+	for a, cf := range cpuLvls {
+		c.Surfaces[a] = make([]*Surface, len(gpuLvls))
+		for b, gf := range gpuLvls {
+			s, err := characterizeSurface(opts, levels, cf, gf)
+			if err != nil {
+				return nil, err
+			}
+			c.Surfaces[a][b] = s
+		}
+	}
+	return c, nil
+}
+
+func checkAscending(levels []int, n int) error {
+	if len(levels) == 0 {
+		return fmt.Errorf("empty level list")
+	}
+	for i, l := range levels {
+		if l < 0 || l >= n {
+			return fmt.Errorf("level %d out of range [0,%d)", l, n)
+		}
+		if i > 0 && l <= levels[i-1] {
+			return fmt.Errorf("levels not strictly ascending")
+		}
+	}
+	return nil
+}
+
+// characterizeSurface measures one frequency pair's 2D degradation
+// grid.
+func characterizeSurface(opts CharacterizeOptions, levels []units.GBps, cf, gf int) (*Surface, error) {
+	n := len(levels)
+	s := &Surface{
+		CPUFreq: cf, GPUFreq: gf,
+		CPUBW:  make([]float64, n),
+		GPUBW:  make([]float64, n),
+		DegCPU: make([][]float64, n),
+		DegGPU: make([][]float64, n),
+	}
+	cfg, mem := opts.Cfg, opts.Mem
+
+	// Grid coordinates: achieved standalone bandwidths at this
+	// frequency pair.
+	for i, lvl := range levels {
+		k, err := microbench.Kernel(lvl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.CPUBW[i] = float64(k.AvgStandaloneBandwidth(apu.CPU, cfg.Freq(apu.CPU, cf), mem))
+		s.GPUBW[i] = float64(k.AvgStandaloneBandwidth(apu.GPU, cfg.Freq(apu.GPU, gf), mem))
+	}
+
+	simOpts := sim.Options{Cfg: cfg, Mem: mem}
+	for i := range levels {
+		s.DegCPU[i] = make([]float64, n)
+		s.DegGPU[i] = make([]float64, n)
+		for j := range levels {
+			cpuInst, err := microbench.Instance(levels[i], cfg, 0)
+			if err != nil {
+				return nil, err
+			}
+			gpuInst, err := microbench.Instance(levels[j], cfg, 1)
+			if err != nil {
+				return nil, err
+			}
+			cres, err := sim.CoRun(simOpts, cpuInst, apu.CPU, gpuInst, cf, gf)
+			if err != nil {
+				return nil, err
+			}
+			s.DegCPU[i][j] = clampTiny(cres.Degradation)
+			gres, err := sim.CoRun(simOpts, gpuInst, apu.GPU, cpuInst, cf, gf)
+			if err != nil {
+				return nil, err
+			}
+			s.DegGPU[i][j] = clampTiny(gres.Degradation)
+		}
+	}
+	return s, nil
+}
+
+// clampTiny zeroes the sub-microscopic negative degradations that the
+// event simulator's time tolerance can produce.
+func clampTiny(d float64) float64 {
+	if d < 0 && d > -1e-6 {
+		return 0
+	}
+	return d
+}
+
+// SurfaceAt returns the characterized surface at grid cell (a, b).
+func (c *Characterization) SurfaceAt(a, b int) *Surface { return c.Surfaces[a][b] }
+
+// Degradation predicts the degradation of the device-`dev` side of a
+// co-run whose CPU side streams cpuBW GB/s standalone and whose GPU
+// side streams gpuBW GB/s, at the actual frequency pair (cpuGHz,
+// gpuGHz). This is the staged interpolation: bandwidth-plane bilinear
+// per surface, then frequency-plane bilinear across surfaces.
+func (c *Characterization) Degradation(dev apu.Device, cpuBW, gpuBW, cpuGHz, gpuGHz float64) float64 {
+	a0, a1, ta := bracket(c.cpuFreqGHz, cpuGHz)
+	b0, b1, tb := bracket(c.gpuFreqGHz, gpuGHz)
+	val := func(a, b int) float64 {
+		s := c.Surfaces[a][b]
+		if dev == apu.CPU {
+			return s.DegradationCPUAt(cpuBW, gpuBW)
+		}
+		return s.DegradationGPUAt(cpuBW, gpuBW)
+	}
+	v0 := units.Lerp(val(a0, b0), val(a0, b1), tb)
+	v1 := units.Lerp(val(a1, b0), val(a1, b1), tb)
+	return units.Lerp(v0, v1, ta)
+}

@@ -1,0 +1,265 @@
+// Package online builds an arrival-driven co-scheduling server on top
+// of the batch machinery: jobs arrive over (simulated) time at a
+// power-capped APU node, and the server repeatedly plans and executes
+// co-schedules for whatever is queued.
+//
+// This is the "take effect online" operating mode the paper motivates
+// in section III: the scheduler itself is cheap enough (< 0.1% of
+// makespan) to re-run at every scheduling epoch. The server uses an
+// epoch model — while one planned batch executes, newly arrived jobs
+// queue; when the batch drains, the queue is re-planned — which is how
+// non-preemptive accelerator queues behave in practice.
+package online
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"corun/internal/apu"
+	"corun/internal/core"
+	"corun/internal/kernelsim"
+	"corun/internal/memsys"
+	"corun/internal/model"
+	"corun/internal/profile"
+	"corun/internal/sim"
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+// Policy selects how each epoch's queue is scheduled.
+type Policy int
+
+// Policies.
+const (
+	// PolicyHCSPlus plans each epoch with HCS plus refinement.
+	PolicyHCSPlus Policy = iota
+	// PolicyHCS plans with plain HCS.
+	PolicyHCS
+	// PolicyRandom dispatches each epoch with the Random baseline.
+	PolicyRandom
+	// PolicyDefault dispatches each epoch with the Default baseline.
+	PolicyDefault
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyHCSPlus:
+		return "hcs+"
+	case PolicyHCS:
+		return "hcs"
+	case PolicyRandom:
+		return "random"
+	case PolicyDefault:
+		return "default"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Arrival is one job arriving at the server.
+type Arrival struct {
+	At    units.Seconds
+	Prog  *kernelsim.Program
+	Scale float64
+	Label string
+}
+
+// Options configures the server.
+type Options struct {
+	Cfg  *apu.Config
+	Mem  *memsys.Model
+	Char *model.Characterization
+	Cap  units.Watts
+
+	Policy Policy
+	// Seed drives the Random policy and refinement sampling.
+	Seed int64
+}
+
+// JobOutcome records one served job.
+type JobOutcome struct {
+	Label string
+	// Arrived, Started, Finished are absolute server times; Started is
+	// the epoch start (jobs wait for the running epoch to drain).
+	Arrived  units.Seconds
+	Started  units.Seconds
+	Finished units.Seconds
+}
+
+// Response is the job's total time in the system.
+func (j JobOutcome) Response() units.Seconds { return j.Finished - j.Arrived }
+
+// Result summarizes a served arrival stream.
+type Result struct {
+	Outcomes []JobOutcome
+	// Done is the time the last job finished.
+	Done units.Seconds
+	// Epochs is how many scheduling rounds ran.
+	Epochs int
+	// MeanResponse and MaxResponse summarize job latencies.
+	MeanResponse units.Seconds
+	MaxResponse  units.Seconds
+	// EnergyJ is total energy across epochs.
+	EnergyJ float64
+}
+
+// Serve runs the arrival stream to completion.
+func Serve(opts Options, arrivals []Arrival) (*Result, error) {
+	if opts.Cfg == nil || opts.Mem == nil {
+		return nil, fmt.Errorf("online: nil machine or memory model")
+	}
+	if len(arrivals) == 0 {
+		return &Result{}, nil
+	}
+	for i, a := range arrivals {
+		if a.Prog == nil {
+			return nil, fmt.Errorf("online: arrival %d has no program", i)
+		}
+		if a.Scale <= 0 {
+			return nil, fmt.Errorf("online: arrival %d has scale %v", i, a.Scale)
+		}
+	}
+	if (opts.Policy == PolicyHCSPlus || opts.Policy == PolicyHCS) && opts.Char == nil {
+		return nil, fmt.Errorf("online: model-based policies need a characterization")
+	}
+	sorted := append([]Arrival(nil), arrivals...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+
+	res := &Result{}
+	clock := units.Seconds(0)
+	next := 0
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	for next < len(sorted) || clock < res.Done {
+		if next >= len(sorted) {
+			break
+		}
+		// Wait for work.
+		if sorted[next].At > clock {
+			clock = sorted[next].At
+		}
+		// Take everything that has arrived by now.
+		var epoch []Arrival
+		for next < len(sorted) && sorted[next].At <= clock {
+			epoch = append(epoch, sorted[next])
+			next++
+		}
+		batch := make([]*workload.Instance, len(epoch))
+		for i, a := range epoch {
+			batch[i] = &workload.Instance{ID: i, Prog: a.Prog, Scale: a.Scale, Label: a.Label}
+		}
+
+		simRes, err := runEpoch(opts, batch, rng.Int63())
+		if err != nil {
+			return nil, err
+		}
+		res.Epochs++
+		res.EnergyJ += simRes.EnergyJ
+		for _, c := range simRes.Completions {
+			// Map the completion back to its arrival.
+			a := epoch[c.Inst.ID]
+			res.Outcomes = append(res.Outcomes, JobOutcome{
+				Label:    a.Label,
+				Arrived:  a.At,
+				Started:  clock,
+				Finished: clock + c.End,
+			})
+		}
+		clock += simRes.Makespan
+		if clock > res.Done {
+			res.Done = clock
+		}
+	}
+
+	sum, max := 0.0, units.Seconds(0)
+	for _, o := range res.Outcomes {
+		r := o.Response()
+		sum += float64(r)
+		if r > max {
+			max = r
+		}
+	}
+	if len(res.Outcomes) > 0 {
+		res.MeanResponse = units.Seconds(sum / float64(len(res.Outcomes)))
+	}
+	res.MaxResponse = max
+	return res, nil
+}
+
+// runEpoch schedules and executes one queued batch.
+func runEpoch(opts Options, batch []*workload.Instance, seed int64) (*sim.Result, error) {
+	execOpts := core.ExecOptions{Cfg: opts.Cfg, Mem: opts.Mem, Cap: opts.Cap}
+	switch opts.Policy {
+	case PolicyRandom:
+		return core.ExecuteRandom(execOpts, batch, seed, sim.GPUBiased)
+	case PolicyDefault:
+		prof, err := profile.Collect(opts.Cfg, opts.Mem, batch)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := model.NewPredictor(opts.Char, prof)
+		if err != nil {
+			return nil, err
+		}
+		return core.ExecuteDefault(execOpts, batch, pred, sim.GPUBiased)
+	case PolicyHCS, PolicyHCSPlus:
+		prof, err := profile.Collect(opts.Cfg, opts.Mem, batch)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := model.NewPredictor(opts.Char, prof)
+		if err != nil {
+			return nil, err
+		}
+		cx, err := core.NewContext(pred, opts.Cfg, opts.Cap)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := cx.HCS(core.HCSOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if opts.Policy == PolicyHCSPlus {
+			plan, _, err = cx.Refine(plan, core.RefineOptions{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return cx.Execute(plan, batch, execOpts)
+	default:
+		return nil, fmt.Errorf("online: unknown policy %v", opts.Policy)
+	}
+}
+
+// GenerateArrivals produces a seeded arrival stream: n jobs drawn
+// uniformly from the benchmark set with exponential-ish inter-arrival
+// gaps of the given mean (seconds) and input scales in [0.8, 1.3].
+func GenerateArrivals(n int, meanGap float64, seed int64) ([]Arrival, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("online: need at least one arrival")
+	}
+	if meanGap < 0 {
+		return nil, fmt.Errorf("online: negative mean gap")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	names := workload.Names()
+	out := make([]Arrival, n)
+	t := 0.0
+	for i := range out {
+		name := names[rng.Intn(len(names))]
+		prog, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Arrival{
+			At:    units.Seconds(t),
+			Prog:  prog,
+			Scale: 0.8 + 0.5*rng.Float64(),
+			Label: fmt.Sprintf("%s@%d", name, i),
+		}
+		t += rng.ExpFloat64() * meanGap
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"corun/internal/apu"
+	"corun/internal/memsys"
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+// persistedProfile is the on-disk JSON form of a Standalone profile.
+// Program models are not persisted — profiles are data about a batch,
+// and the loader re-binds them to the caller's batch by label.
+type persistedProfile struct {
+	Version int             `json:"version"`
+	Labels  []string        `json:"labels"`
+	Entries [][][]entryJSON `json:"entries"`
+}
+
+type entryJSON struct {
+	T  float64 `json:"t"`
+	P  float64 `json:"p"`
+	BW float64 `json:"bw"`
+	U  float64 `json:"u"`
+}
+
+const persistVersion = 1
+
+// Save writes the profile tables as JSON. In a deployment where
+// profiling is measurement (not analytic evaluation), this is the
+// artifact the offline stage produces for the runtime to load.
+func (s *Standalone) Save(w io.Writer) error {
+	if s.NumJobs() == 0 {
+		return fmt.Errorf("profile: refusing to save an empty profile")
+	}
+	out := persistedProfile{Version: persistVersion}
+	for _, in := range s.Batch {
+		out.Labels = append(out.Labels, in.Label)
+	}
+	out.Entries = make([][][]entryJSON, len(s.Entries))
+	for i := range s.Entries {
+		out.Entries[i] = make([][]entryJSON, len(s.Entries[i]))
+		for d := range s.Entries[i] {
+			for _, e := range s.Entries[i][d] {
+				out.Entries[i][d] = append(out.Entries[i][d], entryJSON{
+					T: float64(e.Time), P: float64(e.Power), BW: float64(e.Bandwidth), U: e.Util,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Load reads a profile saved by Save and binds it to the given batch
+// and machine. The batch must match the saved one in length and labels
+// (order included) — loading someone else's profile is a deployment
+// error worth failing loudly on.
+func Load(r io.Reader, cfg *apu.Config, mem *memsys.Model, batch []*workload.Instance) (*Standalone, error) {
+	var in persistedProfile
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("profile: decoding: %w", err)
+	}
+	if in.Version != persistVersion {
+		return nil, fmt.Errorf("profile: file version %d, want %d", in.Version, persistVersion)
+	}
+	if len(in.Labels) != len(batch) {
+		return nil, fmt.Errorf("profile: file has %d jobs, batch has %d", len(in.Labels), len(batch))
+	}
+	for i, l := range in.Labels {
+		if batch[i].Label != l {
+			return nil, fmt.Errorf("profile: job %d is %q in the file but %q in the batch", i, l, batch[i].Label)
+		}
+	}
+	s := &Standalone{Cfg: cfg, Mem: mem, Batch: batch}
+	s.Entries = make([][][]Entry, len(batch))
+	for i := range batch {
+		if len(in.Entries) <= i || len(in.Entries[i]) != apu.NumDevices {
+			return nil, fmt.Errorf("profile: job %d has malformed device tables", i)
+		}
+		s.Entries[i] = make([][]Entry, apu.NumDevices)
+		for d := apu.CPU; d <= apu.GPU; d++ {
+			want := cfg.NumFreqs(d)
+			if len(in.Entries[i][d]) != want {
+				return nil, fmt.Errorf("profile: job %d device %v has %d levels, machine has %d",
+					i, d, len(in.Entries[i][d]), want)
+			}
+			for _, e := range in.Entries[i][d] {
+				if e.T <= 0 {
+					return nil, fmt.Errorf("profile: job %d device %v has a non-positive time", i, d)
+				}
+				s.Entries[i][d] = append(s.Entries[i][d], Entry{
+					Time:      units.Seconds(e.T),
+					Power:     units.Watts(e.P),
+					Bandwidth: units.GBps(e.BW),
+					Util:      e.U,
+				})
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,74 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"corun/internal/apu"
+	"corun/internal/memsys"
+	"corun/internal/workload"
+)
+
+func TestProfileSaveLoadRoundTrip(t *testing.T) {
+	batch := workload.Batch8()
+	orig := collect(t, batch)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, orig.Cfg, orig.Mem, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < orig.NumJobs(); i++ {
+		for d := apu.CPU; d <= apu.GPU; d++ {
+			for f := 0; f < orig.Cfg.NumFreqs(d); f++ {
+				a, b := orig.At(i, d, f), back.At(i, d, f)
+				if a.Time != b.Time || a.Power != b.Power || a.Bandwidth != b.Bandwidth || a.Util != b.Util {
+					t.Fatalf("entry (%d,%v,%d) mangled: %+v vs %+v", i, d, f, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestProfileSaveEmptyRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Standalone{}).Save(&buf); err == nil {
+		t.Error("empty profile saved")
+	}
+}
+
+func TestProfileLoadRejectsMismatches(t *testing.T) {
+	batch := workload.Batch8()
+	orig := collect(t, batch)
+	cfg, mem := orig.Cfg, orig.Mem
+
+	save := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+
+	if _, err := Load(strings.NewReader("junk"), cfg, mem, batch); err == nil {
+		t.Error("junk accepted")
+	}
+	// Wrong batch length.
+	if _, err := Load(save(), cfg, mem, batch[:4]); err == nil {
+		t.Error("shorter batch accepted")
+	}
+	// Reordered batch (labels mismatch).
+	shuffled := append([]*workload.Instance(nil), batch...)
+	shuffled[0], shuffled[1] = shuffled[1], shuffled[0]
+	if _, err := Load(save(), cfg, mem, shuffled); err == nil {
+		t.Error("reordered batch accepted")
+	}
+	// Machine with a different frequency table.
+	kaveri := apu.KaveriConfig()
+	if _, err := Load(save(), kaveri, memsys.Default(), batch); err == nil {
+		t.Error("mismatched machine accepted")
+	}
+}

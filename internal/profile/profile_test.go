@@ -1,0 +1,181 @@
+package profile
+
+import (
+	"testing"
+
+	"corun/internal/apu"
+	"corun/internal/memsys"
+	"corun/internal/sim"
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+func collect(t *testing.T, batch []*workload.Instance) *Standalone {
+	t.Helper()
+	s, err := Collect(apu.DefaultConfig(), memsys.Default(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCollectShapes(t *testing.T) {
+	s := collect(t, workload.Batch8())
+	if s.NumJobs() != 8 {
+		t.Fatalf("NumJobs = %d", s.NumJobs())
+	}
+	if len(s.Entries[0][apu.CPU]) != 16 || len(s.Entries[0][apu.GPU]) != 10 {
+		t.Error("frequency dimensions wrong")
+	}
+}
+
+func TestCollectRejectsBadInput(t *testing.T) {
+	cfg, mem := apu.DefaultConfig(), memsys.Default()
+	if _, err := Collect(nil, mem, nil); err == nil {
+		t.Error("nil config accepted")
+	}
+	if _, err := Collect(cfg, nil, nil); err == nil {
+		t.Error("nil memory model accepted")
+	}
+	if _, err := Collect(cfg, mem, []*workload.Instance{nil}); err == nil {
+		t.Error("nil instance accepted")
+	}
+	bad := workload.Batch8()[:1]
+	bad[0].Scale = 0
+	if _, err := Collect(cfg, mem, bad); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+// The analytic profile must agree with actually simulating the
+// standalone run, both in time and in average power.
+func TestProfileMatchesSimulation(t *testing.T) {
+	batch := workload.Batch8()
+	s := collect(t, batch)
+	opts := sim.Options{Cfg: s.Cfg, Mem: s.Mem}
+	cases := []struct {
+		i int
+		d apu.Device
+		f int
+	}{
+		{0, apu.GPU, 9},  // streamcluster GPU max
+		{2, apu.CPU, 15}, // dwt2d CPU max
+		{3, apu.GPU, 4},  // hotspot GPU mid
+		{5, apu.CPU, 6},  // lud CPU mid
+	}
+	for _, c := range cases {
+		o := opts
+		if c.d == apu.CPU {
+			o.InitCPUFreq = sim.Pin(c.f)
+			o.InitGPUFreq = sim.Pin(0)
+		} else {
+			o.InitGPUFreq = sim.Pin(c.f)
+			o.InitCPUFreq = sim.Pin(0)
+		}
+		res, err := sim.StandaloneRun(o, batch[c.i], c.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := s.At(c.i, c.d, c.f)
+		if units.RelErr(float64(res.Makespan), float64(e.Time)) > 1e-6 {
+			t.Errorf("%s on %v@%d: time sim %v vs profile %v",
+				batch[c.i].Label, c.d, c.f, res.Makespan, e.Time)
+		}
+		if units.RelErr(float64(res.AvgPower), float64(e.Power)) > 0.02 {
+			t.Errorf("%s on %v@%d: power sim %v vs profile %v",
+				batch[c.i].Label, c.d, c.f, res.AvgPower, e.Power)
+		}
+	}
+}
+
+func TestTimesDecreaseWithFrequency(t *testing.T) {
+	s := collect(t, workload.Batch8())
+	for i := 0; i < s.NumJobs(); i++ {
+		for d := apu.CPU; d <= apu.GPU; d++ {
+			for f := 1; f < s.Cfg.NumFreqs(d); f++ {
+				if s.Time(i, d, f) > s.Time(i, d, f-1)+1e-9 {
+					t.Errorf("%s on %v: time rose from level %d to %d",
+						s.Batch[i].Label, d, f-1, f)
+				}
+			}
+		}
+	}
+}
+
+func TestPowersIncreaseWithFrequency(t *testing.T) {
+	s := collect(t, workload.Batch8())
+	for i := 0; i < s.NumJobs(); i++ {
+		for d := apu.CPU; d <= apu.GPU; d++ {
+			for f := 1; f < s.Cfg.NumFreqs(d); f++ {
+				if s.Power(i, d, f) < s.Power(i, d, f-1)-1e-9 {
+					t.Errorf("%s on %v: power fell from level %d to %d",
+						s.Batch[i].Label, d, f-1, f)
+				}
+			}
+		}
+	}
+}
+
+func TestBestFreqUnderCap(t *testing.T) {
+	s := collect(t, workload.Batch8())
+	// Uncapped: max level.
+	f, ok := s.BestFreqUnderCap(0, apu.CPU, 0)
+	if !ok || f != s.Cfg.MaxFreqIndex(apu.CPU) {
+		t.Errorf("uncapped best = %d,%v", f, ok)
+	}
+	// A generous cap also allows the max level.
+	f, ok = s.BestFreqUnderCap(0, apu.CPU, 100)
+	if !ok || f != s.Cfg.MaxFreqIndex(apu.CPU) {
+		t.Errorf("generous cap best = %d,%v", f, ok)
+	}
+	// A 15 W cap forces the CPU below max (max-power CPU runs exceed it).
+	f15, ok := s.BestFreqUnderCap(0, apu.CPU, 15)
+	if !ok {
+		t.Fatal("15 W cap infeasible for a solo CPU run")
+	}
+	if f15 >= s.Cfg.MaxFreqIndex(apu.CPU) {
+		t.Errorf("15 W cap should force CPU below max, got level %d", f15)
+	}
+	if got := s.Power(0, apu.CPU, f15); got > 15 {
+		t.Errorf("chosen level power %v exceeds cap", got)
+	}
+	// An absurd cap below idle is infeasible.
+	if _, ok := s.BestFreqUnderCap(0, apu.CPU, 1); ok {
+		t.Error("1 W cap reported feasible")
+	}
+}
+
+func TestBestTimeUnderCap(t *testing.T) {
+	s := collect(t, workload.Batch8())
+	// streamcluster prefers the GPU uncapped.
+	d, f, tm, ok := s.BestTimeUnderCap(0, 0)
+	if !ok || d != apu.GPU || f != s.Cfg.MaxFreqIndex(apu.GPU) {
+		t.Errorf("streamcluster best = %v@%d, want GPU@max", d, f)
+	}
+	if tm <= 0 {
+		t.Error("non-positive best time")
+	}
+	// dwt2d prefers the CPU uncapped.
+	d, _, _, ok = s.BestTimeUnderCap(2, 0)
+	if !ok || d != apu.CPU {
+		t.Errorf("dwt2d best device = %v, want CPU", d)
+	}
+	// Infeasible cap.
+	if _, _, _, ok := s.BestTimeUnderCap(0, 1); ok {
+		t.Error("1 W cap reported feasible")
+	}
+}
+
+// GPU-preferred programs must remain GPU-preferred under a 15 W cap —
+// the preference categorization the scheduler relies on.
+func TestPreferencesStableUnderCap(t *testing.T) {
+	s := collect(t, workload.Batch8())
+	d, _, _, ok := s.BestTimeUnderCap(0, 15) // streamcluster
+	if !ok || d != apu.GPU {
+		t.Errorf("streamcluster under 15 W prefers %v, want GPU", d)
+	}
+	d, _, _, ok = s.BestTimeUnderCap(2, 15) // dwt2d
+	if !ok || d != apu.CPU {
+		t.Errorf("dwt2d under 15 W prefers %v, want CPU", d)
+	}
+}

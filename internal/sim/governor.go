@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"corun/internal/apu"
+	"corun/internal/units"
+)
+
+// Bias selects which device a reactive governor sacrifices first when
+// the power cap is exceeded (section VI.A of the paper).
+type Bias int
+
+// Governor biases.
+const (
+	// GPUBiased keeps the GPU fast: it lowers the CPU frequency first
+	// and raises the GPU frequency first.
+	GPUBiased Bias = iota
+	// CPUBiased is the opposite policy.
+	CPUBiased
+)
+
+// String implements fmt.Stringer.
+func (b Bias) String() string {
+	if b == GPUBiased {
+		return "GPU-biased"
+	}
+	return "CPU-biased"
+}
+
+// BiasedGovernor is the paper's reactive frequency controller for the
+// Random and Default baselines: it has no model, only the measured
+// power, and steps one DVFS level per sample tick.
+type BiasedGovernor struct {
+	// Cap is the package power cap to enforce.
+	Cap units.Watts
+	// Bias picks the sacrificial device.
+	Bias Bias
+	// RaiseHeadroom is how far below the cap the measured power must
+	// fall before the governor raises a frequency; zero defaults to
+	// an estimate of one DVFS step's power.
+	RaiseHeadroom units.Watts
+}
+
+// Adjust implements Governor.
+func (g *BiasedGovernor) Adjust(power units.Watts, view *View, cfg *apu.Config) (int, int) {
+	cf, gf := view.CPUFreq, view.GPUFreq
+	if g.Cap <= 0 {
+		return cf, gf
+	}
+	if power > g.Cap {
+		return g.lower(power, cf, gf, cfg)
+	}
+	return g.raise(power, cf, gf, cfg)
+}
+
+// lower steps frequencies down until the estimated power fits under the
+// cap (or both devices hit their floors), sacrificing the bias's
+// non-preferred device first. The per-step saving is estimated from the
+// full-activity power curve, which overestimates savings slightly — the
+// residual is the small cap excursion the paper observes in Figure 9.
+func (g *BiasedGovernor) lower(power units.Watts, cf, gf int, cfg *apu.Config) (int, int) {
+	est := power
+	stepDown := func(dev apu.Device, idx int) (int, bool) {
+		if idx <= 0 {
+			return idx, false
+		}
+		est -= cfg.DynPower(dev, idx) - cfg.DynPower(dev, idx-1)
+		return idx - 1, true
+	}
+	for est > g.Cap {
+		var ok bool
+		if g.Bias == GPUBiased {
+			if cf, ok = stepDown(apu.CPU, cf); ok {
+				continue
+			}
+			if gf, ok = stepDown(apu.GPU, gf); ok {
+				continue
+			}
+		} else {
+			if gf, ok = stepDown(apu.GPU, gf); ok {
+				continue
+			}
+			if cf, ok = stepDown(apu.CPU, cf); ok {
+				continue
+			}
+		}
+		break // both at floor
+	}
+	return cf, gf
+}
+
+// raise steps frequencies up when the measured power plus the step's
+// estimated cost still fits the cap. The policy "always raises the
+// GPU's frequency if it's not the highest yet" (symmetrically for
+// CPU-biased): the non-preferred device is only considered once the
+// preferred one sits at its maximum level.
+func (g *BiasedGovernor) raise(power units.Watts, cf, gf int, cfg *apu.Config) (int, int) {
+	fits := func(delta units.Watts) bool { return power+delta+g.RaiseHeadroom <= g.Cap }
+	if g.Bias == GPUBiased {
+		if gf < cfg.MaxFreqIndex(apu.GPU) {
+			if fits(cfg.DynPower(apu.GPU, gf+1) - cfg.DynPower(apu.GPU, gf)) {
+				return cf, gf + 1
+			}
+			return cf, gf
+		}
+		if cf < cfg.MaxFreqIndex(apu.CPU) && fits(cfg.DynPower(apu.CPU, cf+1)-cfg.DynPower(apu.CPU, cf)) {
+			return cf + 1, gf
+		}
+		return cf, gf
+	}
+	if cf < cfg.MaxFreqIndex(apu.CPU) {
+		if fits(cfg.DynPower(apu.CPU, cf+1) - cfg.DynPower(apu.CPU, cf)) {
+			return cf + 1, gf
+		}
+		return cf, gf
+	}
+	if gf < cfg.MaxFreqIndex(apu.GPU) && fits(cfg.DynPower(apu.GPU, gf+1)-cfg.DynPower(apu.GPU, gf)) {
+		return cf, gf + 1
+	}
+	return cf, gf
+}
+
+// PinnedGovernor holds frequencies fixed; useful to make intent
+// explicit where a nil governor would do.
+type PinnedGovernor struct{}
+
+// Adjust implements Governor.
+func (PinnedGovernor) Adjust(power units.Watts, view *View, cfg *apu.Config) (int, int) {
+	return view.CPUFreq, view.GPUFreq
+}

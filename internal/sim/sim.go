@@ -1,0 +1,629 @@
+// Package sim is the discrete-event co-run simulator: the reproduction's
+// stand-in for executing OpenCL programs on the physical APU.
+//
+// The simulator advances time in piecewise-constant segments. Within a
+// segment the set of running jobs, the device frequencies, and each
+// job's current phase are fixed, so execution rates follow directly
+// from the memory-system arbitration; the next event is the earliest
+// phase completion, job completion, or power-sample tick. Package power
+// is integrated exactly over every segment and reported as 1 Hz
+// interval averages, mirroring RAPL-style measurement.
+//
+// The simulator also reproduces the pathology the paper attributes to
+// the Linux default schedule: when several OpenCL CPU jobs are launched
+// at once they time-share the cores, paying a context-switch overhead
+// and losing cache locality (their aggregate memory traffic inflates).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"corun/internal/apu"
+	"corun/internal/memsys"
+	"corun/internal/trace"
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+// eps is the simulator's internal time/work tolerance.
+const eps = 1e-9
+
+// Options configures one simulation run.
+type Options struct {
+	// Cfg is the machine description. Required.
+	Cfg *apu.Config
+
+	// Mem is the shared-memory contention model. Required.
+	Mem *memsys.Model
+
+	// PowerCap is the package power cap in watts; zero means uncapped.
+	// By default the simulator never enforces the cap itself — that is
+	// the job of schedules and governors — it only accounts violations.
+	PowerCap units.Watts
+
+	// HardCap enables RAPL-style hardware enforcement: whenever the
+	// instantaneous package power would exceed PowerCap, frequencies
+	// are clamped down immediately (within the event, i.e. at hardware
+	// time scales), sacrificing HardCapBias's non-preferred device
+	// first. Software above may still pick frequencies; the clamp is a
+	// backstop.
+	HardCap bool
+
+	// HardCapBias picks the device the hardware clamp sacrifices first
+	// (default GPUBiased: lower the CPU first, like Intel's RAPL
+	// balancing toward graphics).
+	HardCapBias Bias
+
+	// SampleInterval is the power-sampling period; zero defaults to 1 s.
+	SampleInterval units.Seconds
+
+	// CPUSlots is how many jobs may time-share the CPU at once; zero
+	// defaults to 1 (the co-scheduling policies of the paper never
+	// multiprogram the CPU; the Default baseline does).
+	CPUSlots int
+
+	// InitCPUFreq and InitGPUFreq are the starting frequency levels;
+	// the zero value means the maximum level. Use Pin to start at a
+	// specific index.
+	InitCPUFreq FreqSetting
+	InitGPUFreq FreqSetting
+
+	// Governor, if non-nil, may adjust frequencies at each governor
+	// tick (reactive power capping, as the biased baselines do).
+	Governor Governor
+
+	// GovernorInterval is the reactive controller's period; zero
+	// defaults to 0.25 s (hardware power controllers react much faster
+	// than the 1 Hz observability sampling).
+	GovernorInterval units.Seconds
+
+	// StopInstance, if non-nil, ends the simulation the moment this
+	// instance completes (used for pairwise degradation measurement).
+	StopInstance *workload.Instance
+
+	// MaxTime aborts runaway simulations; zero defaults to 1e6 s.
+	MaxTime units.Seconds
+
+	// CSOverhead is the per-extra-job context-switch throughput loss
+	// on a multiprogrammed CPU; zero defaults to 0.06.
+	CSOverhead float64
+
+	// LocalityInflation is the per-extra-job memory-traffic inflation
+	// on a multiprogrammed CPU; zero defaults to 0.08.
+	LocalityInflation float64
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	out := *o
+	if out.Cfg == nil {
+		return out, fmt.Errorf("sim: Options.Cfg is required")
+	}
+	if err := out.Cfg.Validate(); err != nil {
+		return out, err
+	}
+	if out.Mem == nil {
+		return out, fmt.Errorf("sim: Options.Mem is required")
+	}
+	if out.SampleInterval <= 0 {
+		out.SampleInterval = 1
+	}
+	if out.GovernorInterval <= 0 {
+		out.GovernorInterval = 0.25
+	}
+	if out.CPUSlots <= 0 {
+		out.CPUSlots = 1
+	}
+	if err := out.InitCPUFreq.validate(out.Cfg, apu.CPU); err != nil {
+		return out, err
+	}
+	if err := out.InitGPUFreq.validate(out.Cfg, apu.GPU); err != nil {
+		return out, err
+	}
+	if out.MaxTime <= 0 {
+		out.MaxTime = 1e6
+	}
+	if out.CSOverhead == 0 {
+		out.CSOverhead = 0.06
+	}
+	if out.LocalityInflation == 0 {
+		out.LocalityInflation = 0.08
+	}
+	return out, nil
+}
+
+// FreqSetting selects a starting DVFS level. The zero value selects the
+// device's maximum level; Pin(i) selects index i.
+type FreqSetting struct {
+	pinned bool
+	idx    int
+}
+
+// Pin returns a FreqSetting fixing the given frequency index.
+func Pin(idx int) FreqSetting { return FreqSetting{pinned: true, idx: idx} }
+
+// index resolves the setting against a device's frequency table.
+func (f FreqSetting) index(cfg *apu.Config, d apu.Device) int {
+	if !f.pinned {
+		return cfg.MaxFreqIndex(d)
+	}
+	return f.idx
+}
+
+func (f FreqSetting) validate(cfg *apu.Config, d apu.Device) error {
+	if f.pinned && (f.idx < 0 || f.idx >= cfg.NumFreqs(d)) {
+		return fmt.Errorf("sim: pinned %v frequency index %d out of range [0,%d)", d, f.idx, cfg.NumFreqs(d))
+	}
+	return nil
+}
+
+// Dispatch is a dispatcher's instruction to start a job. Frequency
+// directives below zero leave the current setting untouched.
+type Dispatch struct {
+	Inst    *workload.Instance
+	CPUFreq int
+	GPUFreq int
+}
+
+// View is the read-only simulator state exposed to dispatchers and
+// governors.
+type View struct {
+	Now     units.Seconds
+	CPUJobs []*workload.Instance
+	GPUJob  *workload.Instance
+	CPUFreq int
+	GPUFreq int
+}
+
+// Dispatcher supplies jobs to idle device slots. Next returns nil when
+// the device should stay idle for now; the simulation ends when nothing
+// is running and both devices decline to dispatch.
+type Dispatcher interface {
+	Next(dev apu.Device, view *View) *Dispatch
+}
+
+// Governor reacts to measured power at each sample tick and returns the
+// frequency indices to use next (possibly unchanged).
+type Governor interface {
+	Adjust(power units.Watts, view *View, cfg *apu.Config) (cpuFreq, gpuFreq int)
+}
+
+// Completion records one finished job.
+type Completion struct {
+	Inst  *workload.Instance
+	Dev   apu.Device
+	Start units.Seconds
+	End   units.Seconds
+}
+
+// Duration is the job's wall time.
+func (c Completion) Duration() units.Seconds { return c.End - c.Start }
+
+// Result summarizes one simulation.
+type Result struct {
+	// Makespan is the time from start to the last completion (or to
+	// StopInstance's completion).
+	Makespan units.Seconds
+
+	// Completions lists finished jobs in completion order.
+	Completions []Completion
+
+	// Power is the interval-averaged package power trace.
+	Power *trace.Series
+
+	// CPUFreq and GPUFreq sample the operating points at the same
+	// cadence as Power (values in GHz), making governor and clamp
+	// behaviour observable.
+	CPUFreq *trace.Series
+	GPUFreq *trace.Series
+
+	// EnergyJ is total energy in joules.
+	EnergyJ float64
+
+	// AvgPower and MaxSample summarize the trace.
+	AvgPower  units.Watts
+	MaxSample units.Watts
+
+	// CapViolations counts samples above the cap; MaxExcess is the
+	// largest observed excess.
+	CapViolations int
+	MaxExcess     units.Watts
+}
+
+// CompletionOf returns the completion record of the given instance, or
+// nil if it never finished.
+func (r *Result) CompletionOf(inst *workload.Instance) *Completion {
+	for i := range r.Completions {
+		if r.Completions[i].Inst == inst {
+			return &r.Completions[i]
+		}
+	}
+	return nil
+}
+
+// running tracks one in-flight job.
+type running struct {
+	inst      *workload.Instance
+	dev       apu.Device
+	phase     int
+	remaining float64 // GOps left in the current phase
+	start     units.Seconds
+
+	// per-segment scratch
+	rate      float64
+	potential float64
+}
+
+func newRunning(inst *workload.Instance, dev apu.Device, now units.Seconds) *running {
+	r := &running{inst: inst, dev: dev, start: now}
+	r.remaining = float64(inst.Prog.Work) * inst.Scale * inst.Prog.Phases[0].Frac
+	return r
+}
+
+// advancePhase moves to the next phase; it returns false when the job
+// has finished.
+func (r *running) advancePhase() bool {
+	r.phase++
+	if r.phase >= len(r.inst.Prog.Phases) {
+		return false
+	}
+	r.remaining = float64(r.inst.Prog.Work) * r.inst.Scale * r.inst.Prog.Phases[r.phase].Frac
+	return true
+}
+
+// state is the mutable simulation state.
+type state struct {
+	opts    Options
+	now     units.Seconds
+	cpuJobs []*running
+	gpuJob  *running
+	cpuFreq int
+	gpuFreq int
+}
+
+func (st *state) view() *View {
+	v := &View{Now: st.now, CPUFreq: st.cpuFreq, GPUFreq: st.gpuFreq}
+	for _, r := range st.cpuJobs {
+		v.CPUJobs = append(v.CPUJobs, r.inst)
+	}
+	if st.gpuJob != nil {
+		v.GPUJob = st.gpuJob.inst
+	}
+	return v
+}
+
+// Run executes the simulation to completion and returns its Result.
+func Run(opts Options, disp Dispatcher) (*Result, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if disp == nil {
+		return nil, fmt.Errorf("sim: nil dispatcher")
+	}
+
+	st := &state{
+		opts:    o,
+		cpuFreq: o.InitCPUFreq.index(o.Cfg, apu.CPU),
+		gpuFreq: o.InitGPUFreq.index(o.Cfg, apu.GPU),
+	}
+	res := &Result{
+		Power:   trace.NewSeries("package_power", "w"),
+		CPUFreq: trace.NewSeries("cpu_freq", "ghz"),
+		GPUFreq: trace.NewSeries("gpu_freq", "ghz"),
+	}
+
+	nextSample := o.SampleInterval
+	nextGov := o.GovernorInterval
+	intervalEnergy := 0.0
+	intervalStart := units.Seconds(0)
+	stopped := false
+
+	const maxEvents = 50_000_000
+	for ev := 0; ev < maxEvents; ev++ {
+		// Fill idle slots.
+		dispatched := st.fill(disp)
+
+		nRunning := len(st.cpuJobs)
+		if st.gpuJob != nil {
+			nRunning++
+		}
+		if nRunning == 0 {
+			if !dispatched {
+				break // idle and nothing left to dispatch
+			}
+			continue
+		}
+
+		// Compute per-segment rates and utilizations.
+		cpuUtil, gpuUtil := st.computeRates()
+		power := st.packagePower(cpuUtil, gpuUtil)
+
+		// RAPL-style hardware clamp: throttle within the event until
+		// the package fits the cap (or both devices hit their floors).
+		if o.HardCap && o.PowerCap > 0 {
+			for power > o.PowerCap && (st.cpuFreq > 0 || st.gpuFreq > 0) {
+				if o.HardCapBias == GPUBiased {
+					if st.cpuFreq > 0 {
+						st.cpuFreq--
+					} else {
+						st.gpuFreq--
+					}
+				} else {
+					if st.gpuFreq > 0 {
+						st.gpuFreq--
+					} else {
+						st.cpuFreq--
+					}
+				}
+				cpuUtil, gpuUtil = st.computeRates()
+				power = st.packagePower(cpuUtil, gpuUtil)
+			}
+		}
+
+		// Earliest event.
+		dt := float64(nextSample - st.now)
+		if o.Governor != nil {
+			if d := float64(nextGov - st.now); d < dt {
+				dt = d
+			}
+		}
+		for _, r := range st.cpuJobs {
+			if d, err := r.eta(); err != nil {
+				return nil, err
+			} else if d < dt {
+				dt = d
+			}
+		}
+		if st.gpuJob != nil {
+			if d, err := st.gpuJob.eta(); err != nil {
+				return nil, err
+			} else if d < dt {
+				dt = d
+			}
+		}
+		if dt < 0 {
+			dt = 0
+		}
+		if st.now+units.Seconds(dt) > o.MaxTime {
+			return nil, fmt.Errorf("sim: exceeded MaxTime %v at t=%v", o.MaxTime, st.now)
+		}
+
+		// Integrate.
+		st.now += units.Seconds(dt)
+		e := float64(power) * dt
+		res.EnergyJ += e
+		intervalEnergy += e
+		for _, r := range st.cpuJobs {
+			r.remaining -= r.rate * dt
+		}
+		if st.gpuJob != nil {
+			st.gpuJob.remaining -= st.gpuJob.rate * dt
+		}
+
+		// Phase/job completions.
+		st.cpuJobs, stopped = st.reap(st.cpuJobs, res, o.StopInstance)
+		if stopped {
+			break
+		}
+		if st.gpuJob != nil && st.gpuJob.remaining <= eps {
+			if !st.gpuJob.advancePhase() {
+				res.Completions = append(res.Completions, Completion{
+					Inst: st.gpuJob.inst, Dev: apu.GPU, Start: st.gpuJob.start, End: st.now,
+				})
+				if o.StopInstance != nil && st.gpuJob.inst == o.StopInstance {
+					st.gpuJob = nil
+					stopped = true
+					break
+				}
+				st.gpuJob = nil
+			}
+		}
+
+		// Governor tick: reacts to the instantaneous power of the
+		// segment that just ended.
+		if o.Governor != nil && st.now >= nextGov-units.Seconds(eps) {
+			cf, gf := o.Governor.Adjust(power, st.view(), o.Cfg)
+			st.setFreqs(cf, gf)
+			nextGov += o.GovernorInterval
+		}
+
+		// Sample tick.
+		if st.now >= nextSample-units.Seconds(eps) {
+			span := float64(st.now - intervalStart)
+			avg := float64(power)
+			if span > eps {
+				avg = intervalEnergy / span
+			}
+			res.Power.MustAdd(st.now, avg)
+			res.CPUFreq.MustAdd(st.now, float64(o.Cfg.Freq(apu.CPU, st.cpuFreq)))
+			res.GPUFreq.MustAdd(st.now, float64(o.Cfg.Freq(apu.GPU, st.gpuFreq)))
+			if o.PowerCap > 0 && units.Watts(avg) > o.PowerCap {
+				res.CapViolations++
+				if ex := units.Watts(avg) - o.PowerCap; ex > res.MaxExcess {
+					res.MaxExcess = ex
+				}
+			}
+			intervalEnergy = 0
+			intervalStart = st.now
+			nextSample += o.SampleInterval
+		}
+	}
+	if !stopped {
+		// Drain check: if jobs remain running we hit the event limit.
+		if len(st.cpuJobs) > 0 || st.gpuJob != nil {
+			return nil, fmt.Errorf("sim: event limit reached with jobs still running at t=%v", st.now)
+		}
+	}
+
+	res.Makespan = st.now
+	if res.Makespan > 0 {
+		res.AvgPower = units.Watts(res.EnergyJ / float64(res.Makespan))
+	}
+	res.MaxSample = units.Watts(res.Power.Max())
+	return res, nil
+}
+
+// fill offers free slots to the dispatcher; it reports whether any job
+// was dispatched.
+func (st *state) fill(disp Dispatcher) bool {
+	dispatched := false
+	if st.gpuJob == nil {
+		if d := disp.Next(apu.GPU, st.view()); d != nil {
+			st.applyDispatch(d, apu.GPU)
+			dispatched = true
+		}
+	}
+	for len(st.cpuJobs) < st.opts.CPUSlots {
+		d := disp.Next(apu.CPU, st.view())
+		if d == nil {
+			break
+		}
+		st.applyDispatch(d, apu.CPU)
+		dispatched = true
+	}
+	return dispatched
+}
+
+func (st *state) applyDispatch(d *Dispatch, dev apu.Device) {
+	st.setFreqs(d.CPUFreq, d.GPUFreq)
+	r := newRunning(d.Inst, dev, st.now)
+	if dev == apu.CPU {
+		st.cpuJobs = append(st.cpuJobs, r)
+	} else {
+		st.gpuJob = r
+	}
+}
+
+func (st *state) setFreqs(cf, gf int) {
+	if cf >= 0 && cf < st.opts.Cfg.NumFreqs(apu.CPU) {
+		st.cpuFreq = cf
+	}
+	if gf >= 0 && gf < st.opts.Cfg.NumFreqs(apu.GPU) {
+		st.gpuFreq = gf
+	}
+}
+
+// computeRates fills each running job's per-segment rate and returns
+// the device utilizations (-1 when a device is idle).
+func (st *state) computeRates() (cpuUtil, gpuUtil float64) {
+	cfg := st.opts.Cfg
+	cpuUtil, gpuUtil = -1, -1
+
+	k := len(st.cpuJobs)
+	cpuF := cfg.Freq(apu.CPU, st.cpuFreq)
+	gpuF := cfg.Freq(apu.GPU, st.gpuFreq)
+
+	// Per-job potentials and raw demands on the CPU.
+	inflation := 1.0
+	perJobScale := 1.0
+	if k > 1 {
+		perJobScale = math.Max(0.4, 1-st.opts.CSOverhead*float64(k-1))
+		inflation = math.Min(1.5, 1+st.opts.LocalityInflation*float64(k-1))
+	}
+	cpuDemand := 0.0
+	cpuSensNum := 0.0
+	for _, r := range st.cpuJobs {
+		prog := r.inst.Prog
+		r.potential = prog.PotentialRate(apu.CPU, cpuF) * perJobScale / math.Max(1, float64(k))
+		d := r.potential * prog.Phases[r.phase].BytesPerOp * inflation
+		cpuDemand += d
+		cpuSensNum += d * prog.CPUSens
+	}
+	cpuSens := 0.0
+	if cpuDemand > 0 {
+		cpuSens = cpuSensNum / cpuDemand
+	}
+
+	gpuDemand, gpuSens := 0.0, 0.0
+	if st.gpuJob != nil {
+		prog := st.gpuJob.inst.Prog
+		st.gpuJob.potential = prog.PotentialRate(apu.GPU, gpuF)
+		gpuDemand = st.gpuJob.potential * prog.Phases[st.gpuJob.phase].BytesPerOp
+		gpuSens = prog.GPUSens
+	}
+
+	grant := st.opts.Mem.Arbitrate(memsys.Demand{
+		CPU: units.GBps(cpuDemand), GPU: units.GBps(gpuDemand),
+		CPUSens: cpuSens, GPUSens: gpuSens,
+	})
+
+	// Split the CPU grant among CPU jobs proportionally to demand; the
+	// locality inflation is pure waste, so only 1/inflation of the
+	// granted bytes are useful.
+	if k > 0 {
+		sumPot, sumRate := 0.0, 0.0
+		for _, r := range st.cpuJobs {
+			prog := r.inst.Prog
+			bpo := prog.Phases[r.phase].BytesPerOp
+			d := r.potential * bpo * inflation
+			share := 0.0
+			if cpuDemand > 0 {
+				share = d / cpuDemand
+			}
+			useful := float64(grant.CPU) * share / inflation
+			if bpo > 0 {
+				r.rate = math.Min(r.potential, useful/bpo)
+			} else {
+				r.rate = r.potential
+			}
+			sumPot += r.potential
+			sumRate += r.rate
+		}
+		if sumPot > 0 {
+			cpuUtil = sumRate / sumPot
+		}
+	}
+	if st.gpuJob != nil {
+		prog := st.gpuJob.inst.Prog
+		bpo := prog.Phases[st.gpuJob.phase].BytesPerOp
+		if bpo > 0 {
+			st.gpuJob.rate = math.Min(st.gpuJob.potential, float64(grant.GPU)/bpo)
+		} else {
+			st.gpuJob.rate = st.gpuJob.potential
+		}
+		if st.gpuJob.potential > 0 {
+			gpuUtil = st.gpuJob.rate / st.gpuJob.potential
+		}
+	}
+	return cpuUtil, gpuUtil
+}
+
+func (st *state) packagePower(cpuUtil, gpuUtil float64) units.Watts {
+	return st.opts.Cfg.PackagePower(st.cpuFreq, st.gpuFreq, cpuUtil, gpuUtil, st.gpuJob != nil)
+}
+
+// eta returns the time for the job to finish its current phase.
+func (r *running) eta() (float64, error) {
+	if r.remaining <= eps {
+		return 0, nil
+	}
+	if r.rate <= 0 {
+		return 0, fmt.Errorf("sim: job %s stalled with zero rate (phase %d)", r.inst.Label, r.phase)
+	}
+	return r.remaining / r.rate, nil
+}
+
+// reap retires finished CPU jobs and advances phases; it reports
+// whether the stop instance completed.
+func (st *state) reap(jobs []*running, res *Result, stop *workload.Instance) ([]*running, bool) {
+	out := jobs[:0]
+	stopped := false
+	for _, r := range jobs {
+		if r.remaining > eps {
+			out = append(out, r)
+			continue
+		}
+		if r.advancePhase() {
+			out = append(out, r)
+			continue
+		}
+		res.Completions = append(res.Completions, Completion{
+			Inst: r.inst, Dev: apu.CPU, Start: r.start, End: st.now,
+		})
+		if stop != nil && r.inst == stop {
+			stopped = true
+		}
+	}
+	return out, stopped
+}
