@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet verify corund clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the tier-1 gate: everything must compile, vet clean, and
+# pass the full test suite under the race detector.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+corund:
+	$(GO) build -o bin/corund ./cmd/corund
+
+clean:
+	rm -rf bin

@@ -1,0 +1,141 @@
+// Command corund is the co-run scheduler daemon: a long-running HTTP
+// service that queues jobs at a simulated power-capped APU node and
+// co-schedules them in epochs with the paper's HCS+/HCS heuristics.
+//
+// Usage:
+//
+//	corund [-addr :8080] [-cap watts] [-policy hcs+|hcs|random|default]
+//	       [-machine ivybridge|kaveri] [-max-queue n] [-epoch-gap dur]
+//	       [-char file] [-save-char file] [-seed n]
+//
+// The micro-benchmark characterization (the offline stage of the
+// paper) runs at startup unless -char points at a file saved earlier
+// with -save-char, the deployment shape where one characterization is
+// shared across a fleet.
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs[/{id}], GET /v1/plan,
+// GET|POST /v1/cap, POST /v1/policy, GET /v1/trace, GET /healthz,
+// GET /metrics (Prometheus text format).
+//
+// SIGINT/SIGTERM drain gracefully: admission stops, the in-flight
+// epoch completes, the queue is flushed, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"corun/internal/apu"
+	"corun/internal/memsys"
+	"corun/internal/model"
+	"corun/internal/online"
+	"corun/internal/server"
+	"corun/internal/units"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	capW := flag.Float64("cap", 15, "package power cap in watts (0 = uncapped)")
+	policy := flag.String("policy", "hcs+", "epoch scheduling policy: hcs+ | hcs | random | default")
+	machine := flag.String("machine", "ivybridge", "machine preset: ivybridge | kaveri")
+	maxQueue := flag.Int("max-queue", 256, "admission control: max queued jobs before 429")
+	epochGap := flag.Duration("epoch-gap", 50*time.Millisecond, "batching window before each scheduling epoch")
+	charFile := flag.String("char", "", "load the characterization from this file instead of measuring")
+	saveChar := flag.String("save-char", "", "save the measured characterization to this file")
+	seed := flag.Int64("seed", 1, "seed for refinement sampling and the random policy")
+	flag.Parse()
+
+	cfg, err := buildConfig(*machine, *policy, *capW, *maxQueue, *epochGap, *seed, *charFile, *saveChar)
+	if err != nil {
+		log.Fatalf("corund: %v", err)
+	}
+	s, err := server.New(*cfg)
+	if err != nil {
+		log.Fatalf("corund: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("corund: serving on %s (policy %s, cap %gW, queue bound %d)",
+		*addr, cfg.Policy, float64(cfg.Cap), cfg.MaxQueue)
+	if err := s.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatalf("corund: %v", err)
+	}
+	log.Printf("corund: drained cleanly")
+}
+
+// buildConfig assembles the server configuration: machine preset,
+// policy, and the characterization (measured, or loaded from a file).
+func buildConfig(machine, policy string, capW float64, maxQueue int, epochGap time.Duration, seed int64, charFile, saveChar string) (*server.Config, error) {
+	var mcfg *apu.Config
+	switch strings.ToLower(machine) {
+	case "ivybridge", "":
+		mcfg = apu.DefaultConfig()
+	case "kaveri":
+		mcfg = apu.KaveriConfig()
+	default:
+		return nil, fmt.Errorf("unknown machine %q", machine)
+	}
+	pol, err := online.ParsePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	mem := memsys.Default()
+
+	char, err := loadOrMeasureChar(charFile, saveChar, mcfg, mem)
+	if err != nil {
+		return nil, err
+	}
+	return &server.Config{
+		Machine:  mcfg,
+		Mem:      mem,
+		Char:     char,
+		Cap:      units.Watts(capW),
+		Policy:   pol,
+		Seed:     seed,
+		MaxQueue: maxQueue,
+		EpochGap: epochGap,
+	}, nil
+}
+
+func loadOrMeasureChar(charFile, saveChar string, mcfg *apu.Config, mem *memsys.Model) (*model.Characterization, error) {
+	if charFile != "" {
+		f, err := os.Open(charFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		char, err := model.LoadCharacterization(f, mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("loading characterization: %w", err)
+		}
+		log.Printf("corund: loaded characterization from %s", charFile)
+		return char, nil
+	}
+	start := time.Now()
+	char, err := model.Characterize(model.CharacterizeOptions{Cfg: mcfg, Mem: mem})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("corund: characterized the degradation space in %v", time.Since(start).Round(time.Millisecond))
+	if saveChar != "" {
+		f, err := os.Create(saveChar)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := char.Save(f); err != nil {
+			return nil, fmt.Errorf("saving characterization: %w", err)
+		}
+		log.Printf("corund: saved characterization to %s", saveChar)
+	}
+	return char, nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestBuildConfig(t *testing.T) {
+	dir := t.TempDir()
+	charPath := filepath.Join(dir, "char.json")
+
+	// Measure once, persisting the characterization.
+	cfg, err := buildConfig("ivybridge", "hcs+", 15, 64, 10*time.Millisecond, 1, "", charPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Char == nil || cfg.MaxQueue != 64 || float64(cfg.Cap) != 15 {
+		t.Fatalf("config %+v", cfg)
+	}
+
+	// Reload the saved characterization — the fleet deployment path.
+	cfg2, err := buildConfig("ivybridge", "hcs", 16, 32, 0, 2, charPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Char == nil {
+		t.Fatal("characterization not loaded")
+	}
+
+	if _, err := buildConfig("cray", "hcs+", 15, 0, 0, 1, "", ""); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if _, err := buildConfig("ivybridge", "fifo", 15, 0, 0, 1, "", ""); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := buildConfig("ivybridge", "hcs+", 15, 0, 0, 1, filepath.Join(dir, "missing.json"), ""); err == nil {
+		t.Error("missing characterization file accepted")
+	}
+}

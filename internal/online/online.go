@@ -12,9 +12,11 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"corun/internal/apu"
 	"corun/internal/core"
@@ -58,12 +60,62 @@ func (p Policy) String() string {
 	}
 }
 
+// Valid reports whether p is one of the defined policies. Callers
+// accepting policy values from the outside (flags, HTTP requests)
+// should check this rather than letting an unknown value surface as a
+// mid-epoch scheduling error.
+func (p Policy) Valid() error {
+	switch p {
+	case PolicyHCSPlus, PolicyHCS, PolicyRandom, PolicyDefault:
+		return nil
+	default:
+		return fmt.Errorf("online: unknown policy %v", p)
+	}
+}
+
+// Policies returns every defined policy in display order.
+func Policies() []Policy {
+	return []Policy{PolicyHCSPlus, PolicyHCS, PolicyRandom, PolicyDefault}
+}
+
+// ParsePolicy maps a policy name ("hcs+", "hcsplus", "hcs", "random",
+// "default", case-insensitive) to its Policy value. Unknown names are
+// an error, never a silent default — API layers turn this into a 400.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "hcs+", "hcsplus":
+		return PolicyHCSPlus, nil
+	case "hcs":
+		return PolicyHCS, nil
+	case "random":
+		return PolicyRandom, nil
+	case "default":
+		return PolicyDefault, nil
+	default:
+		return 0, fmt.Errorf("online: unknown policy %q (want hcs+ | hcs | random | default)", s)
+	}
+}
+
 // Arrival is one job arriving at the server.
 type Arrival struct {
 	At    units.Seconds
 	Prog  *kernelsim.Program
 	Scale float64
 	Label string
+}
+
+// EpochStats describes one completed scheduling epoch to a Hook.
+type EpochStats struct {
+	// Index counts epochs from 0.
+	Index int
+	// Clock is the server time at which the epoch started.
+	Clock units.Seconds
+	// Jobs is the epoch's batch size.
+	Jobs int
+	// Makespan is the epoch's simulated duration.
+	Makespan units.Seconds
+	// EnergyJ is the epoch's energy.
+	EnergyJ float64
 }
 
 // Options configures the server.
@@ -76,6 +128,41 @@ type Options struct {
 	Policy Policy
 	// Seed drives the Random policy and refinement sampling.
 	Seed int64
+
+	// Planned, if set, observes each epoch's plan after scheduling but
+	// before execution. plan is nil for the dispatcher-driven baselines
+	// (Random/Default); predicted is the model's makespan estimate for
+	// the planned schedule (0 without a plan). A daemon uses this to
+	// expose in-flight state (job status, predicted finish) while the
+	// epoch executes.
+	Planned func(plan *core.Schedule, predicted units.Seconds)
+
+	// Hook, if set, observes each completed epoch. Returning an error
+	// aborts serving — together with ServeContext this is the
+	// injectable step hook that lets a caller pace epochs in real or
+	// accelerated time instead of running the stream to completion as
+	// fast as possible.
+	Hook func(EpochStats) error
+}
+
+// Validate checks the options themselves (not an arrival stream):
+// machine and memory models must be present, the policy must be a
+// defined one, model-based policies need a characterization, and the
+// cap must be non-negative.
+func (o Options) Validate() error {
+	if o.Cfg == nil || o.Mem == nil {
+		return fmt.Errorf("online: nil machine or memory model")
+	}
+	if err := o.Policy.Valid(); err != nil {
+		return err
+	}
+	if o.Cap < 0 {
+		return fmt.Errorf("online: negative power cap %v", o.Cap)
+	}
+	if (o.Policy == PolicyHCSPlus || o.Policy == PolicyHCS || o.Policy == PolicyDefault) && o.Char == nil {
+		return fmt.Errorf("online: model-based policies need a characterization")
+	}
+	return nil
 }
 
 // JobOutcome records one served job.
@@ -105,10 +192,20 @@ type Result struct {
 	EnergyJ float64
 }
 
-// Serve runs the arrival stream to completion.
+// Serve runs the arrival stream to completion. It is ServeContext
+// with a background context — no cancellation path.
 func Serve(opts Options, arrivals []Arrival) (*Result, error) {
-	if opts.Cfg == nil || opts.Mem == nil {
-		return nil, fmt.Errorf("online: nil machine or memory model")
+	return ServeContext(context.Background(), opts, arrivals)
+}
+
+// ServeContext runs the arrival stream to completion or until ctx is
+// cancelled. Cancellation is checked between epochs: the in-flight
+// epoch always completes (the simulated machine is non-preemptive),
+// then serving stops with ctx.Err(). This is the cancellation path a
+// draining daemon uses.
+func ServeContext(ctx context.Context, opts Options, arrivals []Arrival) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	if len(arrivals) == 0 {
 		return &Result{}, nil
@@ -121,9 +218,6 @@ func Serve(opts Options, arrivals []Arrival) (*Result, error) {
 			return nil, fmt.Errorf("online: arrival %d has scale %v", i, a.Scale)
 		}
 	}
-	if (opts.Policy == PolicyHCSPlus || opts.Policy == PolicyHCS) && opts.Char == nil {
-		return nil, fmt.Errorf("online: model-based policies need a characterization")
-	}
 	sorted := append([]Arrival(nil), arrivals...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
 
@@ -135,6 +229,9 @@ func Serve(opts Options, arrivals []Arrival) (*Result, error) {
 	for next < len(sorted) || clock < res.Done {
 		if next >= len(sorted) {
 			break
+		}
+		if err := ctx.Err(); err != nil {
+			return res, err
 		}
 		// Wait for work.
 		if sorted[next].At > clock {
@@ -151,10 +248,11 @@ func Serve(opts Options, arrivals []Arrival) (*Result, error) {
 			batch[i] = &workload.Instance{ID: i, Prog: a.Prog, Scale: a.Scale, Label: a.Label}
 		}
 
-		simRes, err := runEpoch(opts, batch, rng.Int63())
+		ep, err := PlanEpoch(opts, batch, rng.Int63())
 		if err != nil {
 			return nil, err
 		}
+		simRes := ep.Result
 		res.Epochs++
 		res.EnergyJ += simRes.EnergyJ
 		for _, c := range simRes.Completions {
@@ -166,6 +264,18 @@ func Serve(opts Options, arrivals []Arrival) (*Result, error) {
 				Started:  clock,
 				Finished: clock + c.End,
 			})
+		}
+		if opts.Hook != nil {
+			stats := EpochStats{
+				Index:    res.Epochs - 1,
+				Clock:    clock,
+				Jobs:     len(batch),
+				Makespan: simRes.Makespan,
+				EnergyJ:  simRes.EnergyJ,
+			}
+			if err := opts.Hook(stats); err != nil {
+				return res, err
+			}
 		}
 		clock += simRes.Makespan
 		if clock > res.Done {
@@ -188,12 +298,34 @@ func Serve(opts Options, arrivals []Arrival) (*Result, error) {
 	return res, nil
 }
 
-// runEpoch schedules and executes one queued batch.
-func runEpoch(opts Options, batch []*workload.Instance, seed int64) (*sim.Result, error) {
+// Epoch is the outcome of one scheduling round: the plan (nil for the
+// dispatcher-driven baselines), the model's predicted makespan for
+// that plan (0 without one), and the ground-truth simulation result.
+type Epoch struct {
+	Plan      *core.Schedule
+	Predicted units.Seconds
+	Result    *sim.Result
+}
+
+// PlanEpoch schedules and executes one queued batch under the options'
+// policy. Instance IDs in the batch must equal their indices. This is
+// the building block a long-running daemon drives directly: it owns
+// the queue and the clock, and calls PlanEpoch once per round.
+func PlanEpoch(opts Options, batch []*workload.Instance, seed int64) (*Epoch, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	execOpts := core.ExecOptions{Cfg: opts.Cfg, Mem: opts.Mem, Cap: opts.Cap}
 	switch opts.Policy {
 	case PolicyRandom:
-		return core.ExecuteRandom(execOpts, batch, seed, sim.GPUBiased)
+		if opts.Planned != nil {
+			opts.Planned(nil, 0)
+		}
+		res, err := core.ExecuteRandom(execOpts, batch, seed, sim.GPUBiased)
+		if err != nil {
+			return nil, err
+		}
+		return &Epoch{Result: res}, nil
 	case PolicyDefault:
 		prof, err := profile.Collect(opts.Cfg, opts.Mem, batch)
 		if err != nil {
@@ -203,7 +335,14 @@ func runEpoch(opts Options, batch []*workload.Instance, seed int64) (*sim.Result
 		if err != nil {
 			return nil, err
 		}
-		return core.ExecuteDefault(execOpts, batch, pred, sim.GPUBiased)
+		if opts.Planned != nil {
+			opts.Planned(nil, 0)
+		}
+		res, err := core.ExecuteDefault(execOpts, batch, pred, sim.GPUBiased)
+		if err != nil {
+			return nil, err
+		}
+		return &Epoch{Result: res}, nil
 	case PolicyHCS, PolicyHCSPlus:
 		prof, err := profile.Collect(opts.Cfg, opts.Mem, batch)
 		if err != nil {
@@ -227,7 +366,18 @@ func runEpoch(opts Options, batch []*workload.Instance, seed int64) (*sim.Result
 				return nil, err
 			}
 		}
-		return cx.Execute(plan, batch, execOpts)
+		predicted, err := cx.PredictedMakespan(plan)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Planned != nil {
+			opts.Planned(plan.Clone(), predicted)
+		}
+		res, err := cx.Execute(plan, batch, execOpts)
+		if err != nil {
+			return nil, err
+		}
+		return &Epoch{Plan: plan, Predicted: predicted, Result: res}, nil
 	default:
 		return nil, fmt.Errorf("online: unknown policy %v", opts.Policy)
 	}

@@ -1,15 +1,21 @@
 package online
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
 	"corun/internal/apu"
+	"corun/internal/core"
 	"corun/internal/memsys"
 	"corun/internal/model"
 	"corun/internal/units"
 	"corun/internal/workload"
 )
+
+// coreSchedule aliases the plan type so hook signatures stay readable.
+type coreSchedule = core.Schedule
 
 var (
 	charOnce sync.Once
@@ -202,5 +208,150 @@ func TestServeUnknownPolicy(t *testing.T) {
 	opts := testOptions(t, Policy(42))
 	if _, err := Serve(opts, []Arrival{{Prog: workload.MustByName("lud"), Scale: 1}}); err == nil {
 		t.Error("unknown policy accepted")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]Policy{
+		"hcs+": PolicyHCSPlus, "HCSPLUS": PolicyHCSPlus, " hcs ": PolicyHCS,
+		"random": PolicyRandom, "Default": PolicyDefault,
+	}
+	for in, want := range cases {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "hcs++", "fifo", "42"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", bad)
+		}
+	}
+	for _, p := range Policies() {
+		if err := p.Valid(); err != nil {
+			t.Errorf("%v invalid: %v", p, err)
+		}
+		rt, err := ParsePolicy(p.String())
+		if err != nil || rt != p {
+			t.Errorf("round trip %v -> %q -> %v, %v", p, p.String(), rt, err)
+		}
+	}
+	if err := Policy(7).Valid(); err == nil {
+		t.Error("Policy(7) valid")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	opts := testOptions(t, PolicyHCSPlus)
+	if err := opts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := opts
+	bad.Policy = Policy(9)
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown policy validated")
+	}
+	bad = opts
+	bad.Cap = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cap validated")
+	}
+	// Default dispatch ranks jobs with the predictive model, so it
+	// needs the characterization too.
+	bad = testOptions(t, PolicyDefault)
+	bad.Char = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("default policy without characterization validated")
+	}
+	ok := testOptions(t, PolicyRandom)
+	ok.Char = nil
+	if err := ok.Validate(); err != nil {
+		t.Errorf("random policy without characterization rejected: %v", err)
+	}
+}
+
+func TestServeContextCancel(t *testing.T) {
+	opts := testOptions(t, PolicyHCSPlus)
+	as, err := GenerateArrivals(8, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel after the first epoch via the hook: the in-flight epoch
+	// completes, the remaining stream is abandoned.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts.Hook = func(EpochStats) error { cancel(); return nil }
+	res, err := ServeContext(ctx, opts, as)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Epochs != 1 {
+		t.Fatalf("res = %+v, want exactly 1 epoch", res)
+	}
+	if len(res.Outcomes) == 0 {
+		t.Error("cancelled serve lost the completed epoch's outcomes")
+	}
+}
+
+func TestServeHookAbort(t *testing.T) {
+	opts := testOptions(t, PolicyRandom)
+	as, err := GenerateArrivals(6, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	sentinel := errors.New("stop here")
+	opts.Hook = func(s EpochStats) error {
+		calls++
+		if s.Jobs <= 0 || s.Makespan <= 0 {
+			t.Errorf("malformed stats %+v", s)
+		}
+		return sentinel
+	}
+	if _, err := Serve(opts, as); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("hook called %d times, want 1", calls)
+	}
+}
+
+func TestPlanEpoch(t *testing.T) {
+	opts := testOptions(t, PolicyHCSPlus)
+	batch := workload.Batch8()
+	var sawPlan bool
+	opts.Planned = func(plan *coreSchedule, predicted units.Seconds) {
+		sawPlan = plan != nil && predicted > 0
+	}
+	ep, err := PlanEpoch(opts, batch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Plan == nil || ep.Predicted <= 0 || ep.Result == nil {
+		t.Fatalf("incomplete epoch: %+v", ep)
+	}
+	if !sawPlan {
+		t.Error("Planned hook not called with a plan")
+	}
+	if len(ep.Result.Completions) != len(batch) {
+		t.Errorf("%d completions, want %d", len(ep.Result.Completions), len(batch))
+	}
+
+	// Baselines have no plan but still call the hook.
+	ropts := testOptions(t, PolicyRandom)
+	hookRan := false
+	ropts.Planned = func(plan *coreSchedule, predicted units.Seconds) {
+		hookRan = plan == nil && predicted == 0
+	}
+	rep, err := PlanEpoch(ropts, workload.Batch8(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan != nil || !hookRan {
+		t.Errorf("random baseline: plan %v, hook ok %v", rep.Plan, hookRan)
+	}
+
+	if _, err := PlanEpoch(Options{}, batch, 1); err == nil {
+		t.Error("empty options accepted")
 	}
 }

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"corun/internal/online"
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/jobs      submit a job (workload.JobSpec JSON) -> 202 Job
+//	GET  /v1/jobs      list all jobs
+//	GET  /v1/jobs/{id} one job's status
+//	GET  /v1/plan      most recent epoch's schedule and power budget
+//	GET  /v1/cap       current power cap
+//	POST /v1/cap       change the power cap live
+//	POST /v1/policy    change the epoch scheduling policy live
+//	GET  /v1/trace     epoch trace (CSV, or JSON with ?format=json)
+//	GET  /healthz      200 while accepting, 503 while draining
+//	GET  /metrics      Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	mux.HandleFunc("GET /v1/cap", s.handleGetCap)
+	mux.HandleFunc("POST /v1/cap", s.handleSetCap)
+	mux.HandleFunc("POST /v1/policy", s.handleSetPolicy)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.m.reg.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := workload.DecodeJobSpec(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("server: unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
+	plan, ok := s.Plan()
+	if !ok {
+		writeErr(w, http.StatusNotFound, errors.New("server: no epoch has been planned yet"))
+		return
+	}
+	writeJSON(w, http.StatusOK, plan)
+}
+
+func (s *Server) handleGetCap(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]float64{"cap_watts": float64(s.Cap())})
+}
+
+func (s *Server) handleSetCap(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		CapWatts *float64 `json:"cap_watts"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil || req.CapWatts == nil {
+		writeErr(w, http.StatusBadRequest, errors.New(`server: body must be {"cap_watts": <number>} (0 = uncapped)`))
+		return
+	}
+	if err := s.SetCap(units.Watts(*req.CapWatts)); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"cap_watts": float64(s.Cap())})
+}
+
+func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Policy string `json:"policy"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, errors.New(`server: body must be {"policy": "hcs+ | hcs | random | default"}`))
+		return
+	}
+	p, err := online.ParsePolicy(req.Policy)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.SetPolicy(p); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"policy": p.String()})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	asJSON := r.URL.Query().Get("format") == "json"
+	if asJSON {
+		w.Header().Set("Content-Type", "application/json")
+	} else {
+		w.Header().Set("Content-Type", "text/csv")
+	}
+	if err := s.WriteTrace(w, asJSON); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"corun/internal/online"
+	"corun/internal/promtext"
+)
+
+// metrics is the daemon's Prometheus-facing instrumentation, served
+// from GET /metrics in the text exposition format.
+type metrics struct {
+	reg *promtext.Registry
+
+	up           *promtext.Gauge
+	queueDepth   *promtext.Gauge
+	submitted    *promtext.Counter
+	rejected     *promtext.Counter
+	done         *promtext.Counter
+	failed       *promtext.Counter
+	scheduled    *promtext.CounterVec
+	epochs       *promtext.Counter
+	energy       *promtext.Counter
+	epochLatency *promtext.Histogram
+	predMakespan *promtext.Gauge
+	simMakespan  *promtext.Gauge
+	capWatts     *promtext.Gauge
+	capUtil      *promtext.Gauge
+	simClock     *promtext.Gauge
+}
+
+func newMetrics() *metrics {
+	reg := promtext.NewRegistry()
+	m := &metrics{
+		reg: reg,
+		up: reg.NewGauge("corund_up",
+			"1 while the scheduler loop accepts work, 0 once drained."),
+		queueDepth: reg.NewGauge("corund_queue_depth",
+			"Jobs admitted but not yet claimed by an epoch."),
+		submitted: reg.NewCounter("corund_jobs_submitted_total",
+			"Jobs accepted by POST /v1/jobs."),
+		rejected: reg.NewCounter("corund_jobs_rejected_total",
+			"Submissions rejected by admission control (full queue or draining)."),
+		done: reg.NewCounter("corund_jobs_done_total",
+			"Jobs that finished executing."),
+		failed: reg.NewCounter("corund_jobs_failed_total",
+			"Jobs whose epoch failed to schedule or execute."),
+		scheduled: reg.NewCounterVec("corund_jobs_scheduled_total",
+			"Jobs scheduled, by epoch policy.", "policy"),
+		epochs: reg.NewCounter("corund_epochs_total",
+			"Scheduling epochs completed."),
+		energy: reg.NewCounter("corund_energy_joules_total",
+			"Simulated package energy across all epochs."),
+		epochLatency: reg.NewHistogram("corund_epoch_latency_seconds",
+			"Wall-clock time to plan and execute one epoch.",
+			[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}),
+		predMakespan: reg.NewGauge("corund_predicted_makespan_seconds",
+			"Model-predicted makespan of the most recent planned epoch."),
+		simMakespan: reg.NewGauge("corund_simulated_makespan_seconds",
+			"Simulated makespan of the most recent epoch."),
+		capWatts: reg.NewGauge("corund_power_cap_watts",
+			"Configured package power cap (0 = uncapped)."),
+		capUtil: reg.NewGauge("corund_power_cap_utilization",
+			"Most recent epoch's average power as a fraction of the cap."),
+		simClock: reg.NewGauge("corund_sim_clock_seconds",
+			"The node's scheduling clock (sum of epoch makespans)."),
+	}
+	// Pre-register every policy's series so dashboards see zeros
+	// instead of absent series before the first epoch.
+	for _, p := range online.Policies() {
+		m.scheduled.Add(p.String(), 0)
+	}
+	return m
+}

@@ -1,0 +1,196 @@
+package server
+
+// Concurrency tests for the job table and API surface, written to be
+// run under `go test -race` (part of `make verify`). They hammer the
+// server from many goroutines — submits, status reads, live cap and
+// policy changes, metrics scrapes — while the scheduler goroutine
+// churns through epochs, then check the final accounting is exact.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"corun/internal/online"
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+func TestJobTableConcurrency(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.EpochGap = 2 * time.Millisecond
+		c.MaxQueue = 10_000
+	})
+	s.Start(context.Background())
+
+	const (
+		writers   = 6
+		perWriter = 8
+	)
+	programs := workload.Names()
+	var submitted atomic.Int64
+	var wg sync.WaitGroup
+
+	// Submitters.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				spec := workload.JobSpec{Program: programs[(w+i)%len(programs)], Scale: 1}
+				if _, err := s.Submit(spec); err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				submitted.Add(1)
+			}
+		}(w)
+	}
+	// Status readers.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				for _, j := range s.Jobs() {
+					if _, ok := s.Job(j.ID); !ok {
+						t.Errorf("job %s vanished", j.ID)
+						return
+					}
+				}
+				s.QueueDepth()
+				s.Plan()
+				s.Clock()
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	// Live cap and policy changes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		caps := []float64{15, 16, 18, 0}
+		for i := 0; i < 40; i++ {
+			if err := s.SetCap(units.Watts(caps[i%len(caps)])); err != nil {
+				t.Errorf("set cap: %v", err)
+				return
+			}
+			p := online.PolicyHCSPlus
+			if i%2 == 1 {
+				p = online.PolicyRandom
+			}
+			if err := s.SetPolicy(p); err != nil {
+				t.Errorf("set policy: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Metrics and trace scrapes race against the scheduler's updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if err := s.WriteMetrics(io.Discard); err != nil {
+				t.Errorf("metrics: %v", err)
+				return
+			}
+			if err := s.WriteTrace(io.Discard, i%2 == 0); err != nil {
+				t.Errorf("trace: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	jobs := waitAllTerminal(t, s, int(submitted.Load()), 120*time.Second)
+	if len(jobs) != writers*perWriter {
+		t.Fatalf("%d jobs recorded, want %d", len(jobs), writers*perWriter)
+	}
+	for _, j := range jobs {
+		if j.State != JobDone {
+			t.Errorf("job %s ended %s: %s", j.ID, j.State, j.Error)
+		}
+	}
+	s.Drain()
+	select {
+	case <-s.Drained():
+	case <-time.After(60 * time.Second):
+		t.Fatal("drain stuck")
+	}
+}
+
+// TestHTTPConcurrency exercises the same races through the HTTP layer
+// and cross-checks /metrics totals against the job table afterwards.
+func TestHTTPConcurrency(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.EpochGap = 2 * time.Millisecond
+		c.MaxQueue = 10_000
+	})
+	s.Start(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+					strings.NewReader(`{"program":"leukocyte"}`))
+				if err != nil {
+					t.Errorf("post: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusAccepted {
+					accepted.Add(1)
+				} else {
+					t.Errorf("submit -> %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				for _, path := range []string{"/v1/jobs", "/metrics", "/healthz", "/v1/trace"} {
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						t.Errorf("get %s: %v", path, err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	waitAllTerminal(t, s, int(accepted.Load()), 120*time.Second)
+	_, body := get(t, ts.URL+"/metrics")
+	if v := metricValue(t, body, "corund_jobs_submitted_total"); v != float64(accepted.Load()) {
+		t.Errorf("submitted %v, want %v", v, accepted.Load())
+	}
+	if v := metricValue(t, body, "corund_jobs_done_total"); v != float64(accepted.Load()) {
+		t.Errorf("done %v, want %v", v, accepted.Load())
+	}
+	if v := metricValue(t, body, "corund_queue_depth"); v != 0 {
+		t.Errorf("queue depth %v", v)
+	}
+	s.Drain()
+	<-s.Drained()
+}

@@ -1,0 +1,629 @@
+// Package server is the network-facing co-run scheduler daemon
+// ("corund"): a long-running process that wraps the internal/online
+// epoch scheduler behind a JSON HTTP API with Prometheus metrics.
+//
+// Jobs arrive over HTTP (POST /v1/jobs) and queue at the simulated
+// power-capped APU node. A single scheduler goroutine owns the epoch
+// loop — exactly the paper's online operating mode: while one planned
+// batch executes, new arrivals queue; when the batch drains, the queue
+// is re-planned with the configured policy (HCS+/HCS/Random/Default)
+// under the current power cap. The cap and policy can be changed live
+// (POST /v1/cap, POST /v1/policy) and take effect at the next epoch,
+// the way a rack-level power manager retunes nodes.
+//
+// Admission control bounds the queue (429 once full), and SIGTERM-style
+// shutdown is graceful: draining stops admission, the in-flight epoch
+// completes, queued jobs are flushed through one final round, and the
+// loop exits.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"corun/internal/apu"
+	"corun/internal/core"
+	"corun/internal/memsys"
+	"corun/internal/model"
+	"corun/internal/online"
+	"corun/internal/sim"
+	"corun/internal/trace"
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+// Admission errors. Handlers map these to 503 and 429.
+var (
+	ErrDraining  = errors.New("server: draining, not accepting jobs")
+	ErrQueueFull = errors.New("server: job queue full")
+)
+
+// Config configures a daemon instance.
+type Config struct {
+	// Machine and Mem default to the paper's Ivy Bridge-like node.
+	Machine *apu.Config
+	Mem     *memsys.Model
+
+	// Char is the offline micro-benchmark characterization; required
+	// for the model-based policies (hcs+, hcs, default).
+	Char *model.Characterization
+
+	// Cap is the package power cap in watts (0 = uncapped).
+	Cap units.Watts
+
+	// Policy plans each epoch; defaults to PolicyHCSPlus.
+	Policy online.Policy
+
+	// Seed drives refinement sampling and the Random policy.
+	Seed int64
+
+	// MaxQueue bounds admitted-but-unscheduled jobs; submissions over
+	// the bound get 429. Defaults to 256.
+	MaxQueue int
+
+	// EpochGap is a real-time batching window: the scheduler waits this
+	// long after finding work before claiming the queue, so concurrent
+	// submitters coalesce into one epoch. 0 plans immediately.
+	EpochGap time.Duration
+
+	// DrainTimeout bounds how long ListenAndServe waits for the drain
+	// to finish after cancellation. Defaults to 30s.
+	DrainTimeout time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Machine == nil {
+		out.Machine = apu.DefaultConfig()
+	}
+	if out.Mem == nil {
+		out.Mem = memsys.Default()
+	}
+	if out.MaxQueue == 0 {
+		out.MaxQueue = 256
+	}
+	if out.DrainTimeout == 0 {
+		out.DrainTimeout = 30 * time.Second
+	}
+	return out
+}
+
+// PlanView is the JSON form of one epoch's schedule, served by
+// GET /v1/plan. Orders reference job IDs.
+type PlanView struct {
+	Epoch  int    `json:"epoch"`
+	Policy string `json:"policy"`
+	State  string `json:"state"` // planning | running | done | failed
+	Jobs   []string `json:"jobs"`
+
+	CPUOrder  []string `json:"cpu_order,omitempty"`
+	GPUOrder  []string `json:"gpu_order,omitempty"`
+	Exclusive []string `json:"exclusive,omitempty"`
+
+	PredictedMakespanS float64 `json:"predicted_makespan_s,omitempty"`
+	SimulatedMakespanS float64 `json:"simulated_makespan_s,omitempty"`
+
+	// The power budget of the epoch: the cap it planned under and how
+	// much of it execution actually used.
+	CapWatts       float64 `json:"cap_watts"`
+	AvgPowerWatts  float64 `json:"avg_power_watts,omitempty"`
+	MaxPowerWatts  float64 `json:"max_power_watts,omitempty"`
+	CapUtilization float64 `json:"cap_utilization,omitempty"`
+	EnergyJoules   float64 `json:"energy_joules,omitempty"`
+
+	ClockStartS float64 `json:"clock_start_s"`
+	ClockEndS   float64 `json:"clock_end_s,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+func (p *PlanView) clone() PlanView {
+	out := *p
+	out.Jobs = append([]string(nil), p.Jobs...)
+	out.CPUOrder = append([]string(nil), p.CPUOrder...)
+	out.GPUOrder = append([]string(nil), p.GPUOrder...)
+	out.Exclusive = append([]string(nil), p.Exclusive...)
+	return out
+}
+
+// Server is the daemon: job table, scheduler goroutine, metrics.
+type Server struct {
+	cfg Config
+	m   *metrics
+
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string
+	queue      []*Job
+	nextID     int
+	capW       units.Watts
+	policy     online.Policy
+	simClock   units.Seconds
+	epochCount int
+	lastPlan   *PlanView
+	draining   bool
+
+	traceMakespan *trace.Series
+	tracePower    *trace.Series
+	traceBatch    *trace.Series
+
+	rng *rand.Rand // scheduler goroutine only
+
+	wake      chan struct{}
+	stop      chan struct{}
+	stopOnce  sync.Once
+	startOnce sync.Once
+	drained   chan struct{}
+}
+
+// New validates the configuration and builds a server. Call Start to
+// launch the scheduler loop.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	// Reuse the epoch scheduler's own option validation so the daemon
+	// rejects exactly what PlanEpoch would.
+	probe := online.Options{Cfg: cfg.Machine, Mem: cfg.Mem, Char: cfg.Char, Cap: cfg.Cap, Policy: cfg.Policy}
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkCap(cfg.Machine, cfg.Cap); err != nil {
+		return nil, err
+	}
+	if cfg.MaxQueue < 0 {
+		return nil, fmt.Errorf("server: negative max queue %d", cfg.MaxQueue)
+	}
+	s := &Server{
+		cfg:           cfg,
+		m:             newMetrics(),
+		jobs:          map[string]*Job{},
+		capW:          cfg.Cap,
+		policy:        cfg.Policy,
+		traceMakespan: trace.NewSeries("epoch_makespan", "s"),
+		tracePower:    trace.NewSeries("epoch_avg_power", "W"),
+		traceBatch:    trace.NewSeries("epoch_jobs", "count"),
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		wake:          make(chan struct{}, 1),
+		stop:          make(chan struct{}),
+		drained:       make(chan struct{}),
+	}
+	s.m.capWatts.Set(float64(cfg.Cap))
+	return s, nil
+}
+
+func checkCap(machine *apu.Config, cap units.Watts) error {
+	if cap < 0 {
+		return fmt.Errorf("server: negative power cap %v", cap)
+	}
+	if cap > 0 && cap < machine.MinFreqCap() {
+		return fmt.Errorf("server: cap %v below the machine's minimum co-run power %v", cap, machine.MinFreqCap())
+	}
+	return nil
+}
+
+// Submit admits one job, returning its initial record. ErrDraining and
+// ErrQueueFull report admission refusals; other errors are invalid
+// specs.
+func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.m.rejected.Inc()
+		return Job{}, ErrDraining
+	}
+	if s.cfg.MaxQueue > 0 && len(s.queue) >= s.cfg.MaxQueue {
+		s.m.rejected.Inc()
+		return Job{}, ErrQueueFull
+	}
+	id := fmt.Sprintf("job-%06d", s.nextID)
+	s.nextID++
+	j := &Job{
+		ID:          id,
+		Program:     spec.Program,
+		Scale:       spec.Scale,
+		Label:       spec.Label,
+		DeadlineS:   spec.DeadlineS,
+		State:       JobQueued,
+		SubmittedAt: time.Now().UTC(),
+		ArrivedSimS: float64(s.simClock),
+		spec:        spec,
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.queue = append(s.queue, j)
+	s.m.submitted.Inc()
+	s.m.queueDepth.Set(float64(len(s.queue)))
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return *j, nil
+}
+
+// Job returns a snapshot of one job by ID.
+func (s *Server) Job(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (s *Server) Jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, len(s.order))
+	for i, id := range s.order {
+		out[i] = *s.jobs[id]
+	}
+	return out
+}
+
+// QueueDepth returns the number of admitted-but-unclaimed jobs.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Cap returns the active power cap.
+func (s *Server) Cap() units.Watts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capW
+}
+
+// SetCap changes the power cap live; it applies from the next epoch.
+func (s *Server) SetCap(cap units.Watts) error {
+	if err := checkCap(s.cfg.Machine, cap); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.capW = cap
+	s.m.capWatts.Set(float64(cap))
+	return nil
+}
+
+// Policy returns the active epoch policy.
+func (s *Server) Policy() online.Policy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy
+}
+
+// SetPolicy changes the epoch policy live; it applies from the next
+// epoch. Model-based policies require the server to hold a
+// characterization.
+func (s *Server) SetPolicy(p online.Policy) error {
+	probe := online.Options{Cfg: s.cfg.Machine, Mem: s.cfg.Mem, Char: s.cfg.Char, Policy: p}
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policy = p
+	return nil
+}
+
+// Plan returns the most recent epoch's schedule, if any epoch has been
+// planned yet.
+func (s *Server) Plan() (PlanView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastPlan == nil {
+		return PlanView{}, false
+	}
+	return s.lastPlan.clone(), true
+}
+
+// Draining reports whether admission has stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Clock returns the node's scheduling clock (simulated seconds).
+func (s *Server) Clock() units.Seconds {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simClock
+}
+
+// WriteTrace renders the epoch trace — makespan, average power, and
+// batch size per epoch, indexed by the scheduling clock — as CSV or
+// JSON.
+func (s *Server) WriteTrace(w io.Writer, asJSON bool) error {
+	s.mu.Lock()
+	series := []*trace.Series{
+		cloneSeries(s.traceMakespan),
+		cloneSeries(s.tracePower),
+		cloneSeries(s.traceBatch),
+	}
+	s.mu.Unlock()
+	if asJSON {
+		return trace.WriteJSON(w, series...)
+	}
+	return trace.WriteMultiCSV(w, series...)
+}
+
+func cloneSeries(s *trace.Series) *trace.Series {
+	out := trace.NewSeries(s.Name, s.Unit)
+	for _, sm := range s.Samples() {
+		out.MustAdd(sm.Time, sm.Value)
+	}
+	return out
+}
+
+// WriteMetrics renders the Prometheus text exposition.
+func (s *Server) WriteMetrics(w io.Writer) error { return s.m.reg.Write(w) }
+
+// markDraining stops admission; idempotent.
+func (s *Server) markDraining() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// loop is the single scheduler goroutine: it owns the epoch cycle and
+// is the only writer of job state transitions past admission.
+func (s *Server) loop(ctx context.Context) {
+	defer func() {
+		s.m.up.Set(0)
+		close(s.drained)
+	}()
+	s.m.up.Set(1)
+	for {
+		if ctx.Err() != nil {
+			s.markDraining()
+		}
+		s.mu.Lock()
+		pending := len(s.queue)
+		draining := s.draining
+		s.mu.Unlock()
+		if pending == 0 {
+			if draining {
+				return
+			}
+			select {
+			case <-ctx.Done():
+			case <-s.stop:
+				s.markDraining()
+			case <-s.wake:
+			}
+			continue
+		}
+		if gap := s.cfg.EpochGap; gap > 0 && !draining {
+			t := time.NewTimer(gap)
+			select {
+			case <-ctx.Done():
+			case <-s.stop:
+			case <-t.C:
+			}
+			t.Stop()
+		}
+		s.runEpoch()
+	}
+}
+
+// runEpoch claims the queue and runs one scheduling round.
+func (s *Server) runEpoch() {
+	s.mu.Lock()
+	batch := s.queue
+	s.queue = nil
+	s.m.queueDepth.Set(0)
+	epoch := s.epochCount + 1
+	capW, policy := s.capW, s.policy
+	clock := s.simClock
+	seed := s.rng.Int63()
+	insts := make([]*workload.Instance, len(batch))
+	var specErr error
+	for i, j := range batch {
+		j.State = JobPlanned
+		j.Epoch = epoch
+		inst, err := j.spec.Instance(i, j.ID)
+		if err != nil {
+			specErr = err
+			break
+		}
+		insts[i] = inst
+	}
+	pv := newPlanView(epoch, policy, capW, clock, batch)
+	pv.State = "planning"
+	s.lastPlan = &pv
+	s.mu.Unlock()
+	if specErr != nil {
+		s.finishEpochErr(batch, epoch, specErr)
+		return
+	}
+
+	opts := online.Options{
+		Cfg: s.cfg.Machine, Mem: s.cfg.Mem, Char: s.cfg.Char,
+		Cap: capW, Policy: policy, Seed: seed,
+	}
+	opts.Planned = func(plan *core.Schedule, predicted units.Seconds) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, j := range batch {
+			j.State = JobRunning
+			if predicted > 0 {
+				j.PredictedFinishSimS = float64(clock + predicted)
+			}
+		}
+		run := newPlanView(epoch, policy, capW, clock, batch)
+		run.State = "running"
+		fillPlan(&run, plan, predicted, batch)
+		s.lastPlan = &run
+		if predicted > 0 {
+			s.m.predMakespan.Set(float64(predicted))
+		}
+	}
+
+	start := time.Now()
+	ep, err := online.PlanEpoch(opts, insts, seed)
+	s.m.epochLatency.Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.finishEpochErr(batch, epoch, err)
+		return
+	}
+
+	res := ep.Result
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	partners := partnerMap(res.Completions)
+	for _, c := range res.Completions {
+		j := batch[c.Inst.ID]
+		j.State = JobDone
+		j.StartedSimS = float64(clock + c.Start)
+		j.FinishedSimS = float64(clock + c.End)
+		j.ResponseS = j.FinishedSimS - j.ArrivedSimS
+		j.Device = c.Dev.String()
+		if p, ok := partners[c.Inst.ID]; ok {
+			j.Partner = batch[p].ID
+		}
+		if j.DeadlineS > 0 {
+			met := j.ResponseS <= j.DeadlineS
+			j.DeadlineMet = &met
+		}
+	}
+	for _, j := range batch {
+		// The simulator runs every dispatched job to completion, so a
+		// missing completion is a scheduler invariant violation.
+		if j.State != JobDone {
+			j.State = JobFailed
+			j.Error = "no completion recorded"
+			s.m.failed.Inc()
+		}
+	}
+	s.simClock = clock + res.Makespan
+	s.epochCount = epoch
+
+	s.m.epochs.Inc()
+	s.m.done.Add(float64(len(res.Completions)))
+	s.m.scheduled.Add(policy.String(), float64(len(res.Completions)))
+	s.m.energy.Add(res.EnergyJ)
+	s.m.simMakespan.Set(float64(res.Makespan))
+	s.m.simClock.Set(float64(s.simClock))
+	if capW > 0 {
+		s.m.capUtil.Set(float64(res.AvgPower) / float64(capW))
+	}
+
+	s.traceMakespan.MustAdd(s.simClock, float64(res.Makespan))
+	s.tracePower.MustAdd(s.simClock, float64(res.AvgPower))
+	s.traceBatch.MustAdd(s.simClock, float64(len(batch)))
+
+	done := newPlanView(epoch, policy, capW, clock, batch)
+	done.State = "done"
+	fillPlan(&done, ep.Plan, ep.Predicted, batch)
+	done.SimulatedMakespanS = float64(res.Makespan)
+	done.AvgPowerWatts = float64(res.AvgPower)
+	done.MaxPowerWatts = float64(res.MaxSample)
+	if capW > 0 {
+		done.CapUtilization = float64(res.AvgPower) / float64(capW)
+	}
+	done.EnergyJoules = res.EnergyJ
+	done.ClockEndS = float64(s.simClock)
+	s.lastPlan = &done
+}
+
+// finishEpochErr marks a failed round. The daemon stays up: one
+// unschedulable batch (e.g. the cap was dropped below feasibility
+// between admission and planning) must not take the node down.
+func (s *Server) finishEpochErr(batch []*Job, epoch int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range batch {
+		j.State = JobFailed
+		j.Error = err.Error()
+	}
+	s.m.failed.Add(float64(len(batch)))
+	s.m.epochs.Inc()
+	s.epochCount = epoch
+	if s.lastPlan != nil && s.lastPlan.Epoch == epoch {
+		s.lastPlan.State = "failed"
+		s.lastPlan.Error = err.Error()
+	}
+}
+
+func newPlanView(epoch int, policy online.Policy, capW units.Watts, clock units.Seconds, batch []*Job) PlanView {
+	pv := PlanView{
+		Epoch:       epoch,
+		Policy:      policy.String(),
+		CapWatts:    float64(capW),
+		ClockStartS: float64(clock),
+	}
+	for _, j := range batch {
+		pv.Jobs = append(pv.Jobs, j.ID)
+	}
+	return pv
+}
+
+func fillPlan(pv *PlanView, plan *core.Schedule, predicted units.Seconds, batch []*Job) {
+	if plan == nil {
+		return
+	}
+	for _, i := range plan.CPUOrder {
+		pv.CPUOrder = append(pv.CPUOrder, batch[i].ID)
+	}
+	for _, i := range plan.GPUOrder {
+		pv.GPUOrder = append(pv.GPUOrder, batch[i].ID)
+	}
+	for _, i := range plan.Jobs() {
+		if plan.Exclusive[i] {
+			pv.Exclusive = append(pv.Exclusive, batch[i].ID)
+		}
+	}
+	pv.PredictedMakespanS = float64(predicted)
+}
+
+// partnerMap pairs each completed job with the opposite-device job it
+// overlapped longest with, by instance ID.
+func partnerMap(cs []sim.Completion) map[int]int {
+	out := map[int]int{}
+	for i, a := range cs {
+		best, bestOv := -1, units.Seconds(0)
+		for j, b := range cs {
+			if i == j || a.Dev == b.Dev {
+				continue
+			}
+			ov := minS(a.End, b.End) - maxS(a.Start, b.Start)
+			if ov > bestOv {
+				bestOv = ov
+				best = b.Inst.ID
+			}
+		}
+		if best >= 0 {
+			out[a.Inst.ID] = best
+		}
+	}
+	return out
+}
+
+func minS(a, b units.Seconds) units.Seconds {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxS(a, b units.Seconds) units.Seconds {
+	if a > b {
+		return a
+	}
+	return b
+}

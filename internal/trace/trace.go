@@ -143,6 +143,17 @@ func (s *Series) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// WriteJSON renders several series as one JSON document of the form
+// {"series": [...]}, each element in the MarshalJSON encoding. This is
+// the payload a daemon serves from its trace endpoint.
+func WriteJSON(w io.Writer, series ...*Series) error {
+	out := struct {
+		Series []*Series `json:"series"`
+	}{Series: series}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
 // WriteCSV renders the series as a two-column CSV with a header.
 func (s *Series) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "time_s,%s_%s\n", s.Name, s.Unit); err != nil {

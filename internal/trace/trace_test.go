@@ -159,3 +159,27 @@ func TestWriteMultiCSV(t *testing.T) {
 		t.Errorf("shared-timestamp row = %q", lines[2])
 	}
 }
+
+func TestWriteJSON(t *testing.T) {
+	a := NewSeries("makespan", "s")
+	a.MustAdd(1, 10)
+	a.MustAdd(2, 20)
+	b := NewSeries("power", "W")
+	b.MustAdd(1, 14.5)
+	var buf strings.Builder
+	if err := WriteJSON(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Series []*Series `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series) != 2 || out.Series[0].Name != "makespan" || out.Series[1].Len() != 1 {
+		t.Fatalf("round trip: %+v", out.Series)
+	}
+	if out.Series[0].At(1).Value != 20 {
+		t.Errorf("sample lost: %+v", out.Series[0].Samples())
+	}
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// JobSpec is the JSON wire form of one submitted job, as accepted by
+// the corund daemon's POST /v1/jobs endpoint:
+//
+//	{"program": "cfd", "scale": 1.15, "label": "nightly", "deadline_s": 120}
+//
+// Program must name one of the calibrated benchmarks. Scale defaults
+// to 1.0 (the reference input size); Label defaults to the program
+// name; DeadlineS is an optional response-time target in simulated
+// seconds (0 = none) that the server reports against but does not
+// enforce.
+type JobSpec struct {
+	Program   string  `json:"program"`
+	Scale     float64 `json:"scale,omitempty"`
+	Label     string  `json:"label,omitempty"`
+	DeadlineS float64 `json:"deadline_s,omitempty"`
+}
+
+// Normalize fills defaulted fields in place.
+func (s *JobSpec) Normalize() {
+	s.Program = strings.TrimSpace(s.Program)
+	if s.Scale == 0 {
+		s.Scale = 1.0
+	}
+	if s.Label == "" {
+		s.Label = s.Program
+	}
+}
+
+// Validate checks the spec against the benchmark table. Call Normalize
+// first; a zero Scale is rejected here.
+func (s JobSpec) Validate() error {
+	if s.Program == "" {
+		return fmt.Errorf("workload: job spec has no program")
+	}
+	if _, err := ByName(s.Program); err != nil {
+		return fmt.Errorf("workload: job spec: %w (known: %s)", err, strings.Join(Names(), ", "))
+	}
+	if s.Scale <= 0 {
+		return fmt.Errorf("workload: job spec has non-positive scale %v", s.Scale)
+	}
+	if s.DeadlineS < 0 {
+		return fmt.Errorf("workload: job spec has negative deadline %v", s.DeadlineS)
+	}
+	return nil
+}
+
+// Instance materializes the spec as a schedulable instance with the
+// given batch position and label. The label overrides the spec's
+// display label so a server can stamp instances with unique job IDs.
+func (s JobSpec) Instance(id int, label string) (*Instance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	prog, err := ByName(s.Program)
+	if err != nil {
+		return nil, err
+	}
+	if label == "" {
+		label = s.Label
+	}
+	return &Instance{ID: id, Prog: prog, Scale: s.Scale, Label: label}, nil
+}
+
+// DecodeJobSpec reads one JSON job spec, rejecting unknown fields so
+// client typos (e.g. "dead_line_s") surface as 400s instead of
+// silently dropped options. The returned spec is normalized and
+// validated.
+func DecodeJobSpec(r io.Reader) (JobSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s JobSpec
+	if err := dec.Decode(&s); err != nil {
+		return JobSpec{}, fmt.Errorf("workload: decoding job spec: %w", err)
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return JobSpec{}, err
+	}
+	return s, nil
+}

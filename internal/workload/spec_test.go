@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodeJobSpec(t *testing.T) {
+	s, err := DecodeJobSpec(strings.NewReader(`{"program":"cfd","scale":1.2,"deadline_s":90}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Program != "cfd" || s.Scale != 1.2 || s.Label != "cfd" || s.DeadlineS != 90 {
+		t.Fatalf("decoded %+v", s)
+	}
+
+	// Defaults.
+	s, err = DecodeJobSpec(strings.NewReader(`{"program":"lud"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scale != 1.0 || s.Label != "lud" {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+
+	bad := []string{
+		`{"program":"nope"}`,            // unknown benchmark
+		`{"program":""}`,                // empty program
+		`{}`,                            // no program
+		`{"program":"cfd","scale":-1}`,  // negative scale
+		`{"program":"cfd","dead":1}`,    // unknown field
+		`{"program":"cfd","deadline_s":-5}`, // negative deadline
+		`not json`,
+	}
+	for _, in := range bad {
+		if _, err := DecodeJobSpec(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %s", in)
+		}
+	}
+}
+
+func TestJobSpecInstance(t *testing.T) {
+	s := JobSpec{Program: "hotspot", Scale: 1.1, Label: "mine"}
+	in, err := s.Instance(3, "job-000003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.ID != 3 || in.Label != "job-000003" || in.Scale != 1.1 || in.Prog == nil || in.Prog.Name != "hotspot" {
+		t.Fatalf("instance %+v", in)
+	}
+	// Empty override keeps the spec label.
+	in, err = s.Instance(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Label != "mine" {
+		t.Fatalf("label %q", in.Label)
+	}
+	if _, err := (JobSpec{Program: "x", Scale: 1}).Instance(0, ""); err == nil {
+		t.Error("unknown program accepted")
+	}
+}
