@@ -1,6 +1,7 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build test race vet verify corund clean
+.PHONY: all build test race vet fmtcheck bench verify corund clean
 
 all: build
 
@@ -16,9 +17,19 @@ race:
 vet:
 	$(GO) vet ./...
 
-# verify is the tier-1 gate: everything must compile, vet clean, and
-# pass the full test suite under the race detector.
-verify:
+# fmtcheck fails (listing the offenders) if any file needs gofmt.
+fmtcheck:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# bench runs the cached-vs-uncached planning benchmarks of the policy
+# engine (no tests, with allocation stats).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/policy/
+
+# verify is the tier-1 gate: everything must be gofmt-clean, compile,
+# vet clean, and pass the full test suite under the race detector.
+verify: fmtcheck
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...

@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	corund [-addr :8080] [-cap watts] [-policy hcs+|hcs|random|default]
+//	corund [-addr :8080] [-cap watts] [-policy name]
 //	       [-machine ivybridge|kaveri] [-max-queue n] [-epoch-gap dur]
 //	       [-char file] [-save-char file] [-seed n]
+//
+// The epoch policy is any name registered in the policy registry
+// (hcs+, hcs, optimal, anneal, genetic, random, default, ...);
+// GET /v1/policies lists the live set and POST /v1/policy hot-swaps
+// it.
 //
 // The micro-benchmark characterization (the offline stage of the
 // paper) runs at startup unless -char points at a file saved earlier
@@ -14,8 +19,8 @@
 // shared across a fleet.
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs[/{id}], GET /v1/plan,
-// GET|POST /v1/cap, POST /v1/policy, GET /v1/trace, GET /healthz,
-// GET /metrics (Prometheus text format).
+// GET|POST /v1/cap, GET /v1/policies, POST /v1/policy, GET /v1/trace,
+// GET /healthz, GET /metrics (Prometheus text format).
 //
 // SIGINT/SIGTERM drain gracefully: admission stops, the in-flight
 // epoch completes, the queue is flushed, then the process exits.
@@ -36,6 +41,7 @@ import (
 	"corun/internal/memsys"
 	"corun/internal/model"
 	"corun/internal/online"
+	"corun/internal/policy"
 	"corun/internal/server"
 	"corun/internal/units"
 )
@@ -43,7 +49,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	capW := flag.Float64("cap", 15, "package power cap in watts (0 = uncapped)")
-	policy := flag.String("policy", "hcs+", "epoch scheduling policy: hcs+ | hcs | random | default")
+	policyFlag := flag.String("policy", "hcs+", "epoch scheduling policy: "+strings.Join(policy.Names(), " | "))
 	machine := flag.String("machine", "ivybridge", "machine preset: ivybridge | kaveri")
 	maxQueue := flag.Int("max-queue", 256, "admission control: max queued jobs before 429")
 	epochGap := flag.Duration("epoch-gap", 50*time.Millisecond, "batching window before each scheduling epoch")
@@ -52,7 +58,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for refinement sampling and the random policy")
 	flag.Parse()
 
-	cfg, err := buildConfig(*machine, *policy, *capW, *maxQueue, *epochGap, *seed, *charFile, *saveChar)
+	cfg, err := buildConfig(*machine, *policyFlag, *capW, *maxQueue, *epochGap, *seed, *charFile, *saveChar)
 	if err != nil {
 		log.Fatalf("corund: %v", err)
 	}

@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	corunsched [-cap watts] [-policy hcs|hcs+|random|default-gpu|default-cpu]
-//	           [-batch 8|16] [-jobs name,name,...] [-seed n] [-v]
+//	corunsched [-cap watts] [-policy name] [-batch 8|16]
+//	           [-jobs name,name,...] [-seed n] [-v]
+//
+// The planned policies come from the policy registry (run with
+// -policy help to list them); "random", "default-gpu", and
+// "default-cpu" additionally name the paper's dispatcher-driven
+// baseline executions.
 //
 // Examples:
 //
@@ -15,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,7 +29,7 @@ import (
 
 func main() {
 	cap := flag.Float64("cap", 15, "package power cap in watts (0 = uncapped)")
-	policy := flag.String("policy", "hcs+", "hcs | hcs+ | random | default-gpu | default-cpu")
+	policy := flag.String("policy", "hcs+", policyUsage())
 	batchSize := flag.Int("batch", 8, "use the paper's 8- or 16-instance batch")
 	jobs := flag.String("jobs", "", "comma-separated benchmark names overriding -batch")
 	seed := flag.Int64("seed", 1, "seed for the random policy")
@@ -57,27 +63,13 @@ func main() {
 	}
 
 	var report *corun.Report
-	switch strings.ToLower(*policy) {
-	case "hcs", "hcs+", "hcsplus":
-		var plan *corun.Schedule
-		if strings.EqualFold(*policy, "hcs") {
-			plan, err = w.ScheduleHCS()
-		} else {
-			plan, err = w.ScheduleHCSPlus()
-		}
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println("schedule:", plan)
-		if *explain {
-			if err := w.ExplainPlan(os.Stdout, plan); err != nil {
-				fatal(err)
-			}
-		}
-		report, err = w.Run(plan)
-		if err != nil {
-			fatal(err)
-		}
+	// The dispatcher-driven baseline executions keep their historical
+	// names; every other name is a planned policy resolved through the
+	// registry, which rejects unknown names with the valid list.
+	switch strings.ToLower(strings.TrimSpace(*policy)) {
+	case "help", "list":
+		listPolicies(os.Stdout)
+		return
 	case "random":
 		report, err = w.RunRandom(*seed, corun.GPUBiased)
 		if err != nil {
@@ -94,7 +86,20 @@ func main() {
 			fatal(err)
 		}
 	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
+		plan, err := w.ScheduleSeeded(*policy, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("schedule:", plan)
+		if *explain {
+			if err := w.ExplainPlan(os.Stdout, plan); err != nil {
+				fatal(err)
+			}
+		}
+		report, err = w.Run(plan)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("makespan:       %.2f s\n", float64(report.Makespan))
@@ -132,6 +137,30 @@ func buildBatch(jobs string, batchSize int) ([]*corun.Instance, error) {
 	default:
 		return nil, fmt.Errorf("-batch must be 8 or 16 (or use -jobs)")
 	}
+}
+
+// policyUsage builds the -policy help text from the registry instead
+// of a hand-maintained list.
+func policyUsage() string {
+	names := append(corun.Policies(), "default-gpu", "default-cpu")
+	return "planned policy from the registry, or a dispatcher baseline: " +
+		strings.Join(names, " | ") + " (or 'help' to describe them)"
+}
+
+// listPolicies describes every registered policy plus the dispatcher
+// baselines.
+func listPolicies(w io.Writer) {
+	fmt.Fprintln(w, "registered policies:")
+	for _, info := range corun.DescribePolicies() {
+		name := info.Name
+		if len(info.Aliases) > 0 {
+			name += " (" + strings.Join(info.Aliases, ", ") + ")"
+		}
+		fmt.Fprintf(w, "  %-24s %s\n", name, info.Description)
+	}
+	fmt.Fprintln(w, "dispatcher baselines:")
+	fmt.Fprintf(w, "  %-24s %s\n", "default-gpu", "Default baseline executed under the GPU-biased governor")
+	fmt.Fprintf(w, "  %-24s %s\n", "default-cpu", "Default baseline executed under the CPU-biased governor")
 }
 
 func fatal(err error) {

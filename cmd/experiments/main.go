@@ -7,7 +7,7 @@
 //	experiments [-json|-md] [-csv] [fig2|example3|fig5|fig6|fig7|fig8|
 //	             fig9|table1|fig10|fig11|overhead|ablations|energy|split|
 //	             robustness|fairness|sensitivity|scalability|capenforce|
-//	             cluster|fig7cal|online|all]
+//	             cluster|fig7cal|online|policies|all]
 //
 // With no argument (or "all") it runs the whole evaluation in paper
 // order. -json emits machine-readable results (one JSON object per
@@ -137,6 +137,10 @@ func experimentTable(csv bool) []experiment {
 			r, err := s.Online()
 			return r, writerOf(r, err), err
 		}},
+		{"policies", func(s *exp.Suite) (any, func(io.Writer) error, error) {
+			r, err := s.PolicySweep()
+			return r, writerOf(r, err), err
+		}},
 	}
 }
 
@@ -219,7 +223,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments [-json|-md] [-csv] [fig2|example3|fig5|fig6|fig7|fig8|fig9|table1|fig10|fig11|overhead|ablations|energy|split|robustness|fairness|sensitivity|scalability|capenforce|cluster|fig7cal|online|all]")
+	fmt.Fprintln(os.Stderr, "usage: experiments [-json|-md] [-csv] [fig2|example3|fig5|fig6|fig7|fig8|fig9|table1|fig10|fig11|overhead|ablations|energy|split|robustness|fairness|sensitivity|scalability|capenforce|cluster|fig7cal|online|policies|all]")
 }
 
 func fatal(err error) {

@@ -36,6 +36,7 @@ import (
 	"corun/internal/memsys"
 	"corun/internal/model"
 	"corun/internal/online"
+	"corun/internal/policy"
 	"corun/internal/profile"
 	"corun/internal/sim"
 	"corun/internal/trace"
@@ -268,7 +269,14 @@ func (s *System) Prepare(batch []*Instance) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	cx, err := core.NewContext(pred, s.cfg, s.cap)
+	// The memoizing wrapper persists for the workload's lifetime, so
+	// planning the same batch repeatedly (or under several policies)
+	// answers each staged-interpolation query once.
+	cached, err := model.NewCachedPredictor(pred, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	cx, err := core.NewContext(cached, s.cfg, s.cap)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +294,7 @@ func (s *System) PrepareCalibrated(batch []*Instance) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, ok := w.cx.Oracle.(*model.Predictor)
+	base, ok := model.Unwrap(w.cx.Oracle.(model.Oracle)).(*model.Predictor)
 	if !ok {
 		return nil, fmt.Errorf("corun: internal: unexpected oracle type")
 	}
@@ -294,7 +302,11 @@ func (s *System) PrepareCalibrated(batch []*Instance) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
-	cx, err := core.NewContext(cal, s.cfg, s.cap)
+	cached, err := model.NewCachedPredictor(cal, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	cx, err := core.NewContext(cached, s.cfg, s.cap)
 	if err != nil {
 		return nil, err
 	}
@@ -313,15 +325,44 @@ type Workload struct {
 // Batch returns the prepared instances.
 func (w *Workload) Batch() []*Instance { return w.batch }
 
+// defaultPlanSeed drives the stochastic parts of the planners (HCS+
+// refinement sampling, the metaheuristics, the random baseline plan)
+// when a policy is planned through the facade.
+const defaultPlanSeed = 7
+
+// Policies lists every registered scheduling policy by canonical name.
+// Any of them can be passed to Workload.Schedule.
+func Policies() []string { return policy.Names() }
+
+// PolicyInfo describes one registered policy.
+type PolicyInfo = policy.Info
+
+// DescribePolicies returns the registered policies with their aliases
+// and one-line descriptions.
+func DescribePolicies() []PolicyInfo { return policy.List() }
+
+// Schedule plans the batch with any registered policy, resolved by
+// name through the policy registry ("hcs", "hcs+", "optimal",
+// "anneal", "genetic", "random", "default", or any alias). Unknown
+// names return an error listing the valid ones.
+func (w *Workload) Schedule(policyName string) (*Schedule, error) {
+	return w.ScheduleSeeded(policyName, defaultPlanSeed)
+}
+
+// ScheduleSeeded is Schedule with an explicit seed for the stochastic
+// planners; deterministic policies ignore it.
+func (w *Workload) ScheduleSeeded(policyName string, seed int64) (*Schedule, error) {
+	return policy.Plan(policyName, w.cx, policy.Options{Seed: seed})
+}
+
 // ScheduleHCS plans with the heuristic co-scheduling algorithm.
 func (w *Workload) ScheduleHCS() (*Schedule, error) {
-	return w.cx.HCS(core.HCSOptions{})
+	return w.Schedule("hcs")
 }
 
 // ScheduleHCSPlus plans with HCS plus the post local refinement.
 func (w *Workload) ScheduleHCSPlus() (*Schedule, error) {
-	s, _, err := w.cx.HCSPlus(core.HCSOptions{}, core.RefineOptions{Seed: 7})
-	return s, err
+	return w.Schedule("hcs+")
 }
 
 // ExplainPlan writes a human-readable account of a schedule: per-job

@@ -62,7 +62,8 @@ type Context struct {
 	// FreqStride coarsens the frequency traversal: only every
 	// FreqStride-th level (counted down from the maximum) is examined.
 	// The default 1 is the paper's exhaustive traversal; larger values
-	// are the traversal-granularity ablation.
+	// are the traversal-granularity ablation. Set it before the first
+	// query: the memo tables assume it is fixed.
 	FreqStride int
 
 	// mu guards the memo tables; a Context may be shared by concurrent
@@ -71,7 +72,14 @@ type Context struct {
 	mu       sync.Mutex
 	pairMemo map[pairMemoKey]pairChoice
 	soloMemo map[soloMemoKey]soloChoice
+	msMemo   map[string]units.Seconds
 }
+
+// maxMakespanMemo bounds the predicted-makespan memo: the search
+// policies evaluate many candidate schedules, and an unbounded table
+// would grow with every distinct candidate ever seen. Once full, new
+// schedules are evaluated but no longer stored.
+const maxMakespanMemo = 1 << 16
 
 type pairMemoKey struct{ c, g int }
 type pairChoice struct {
@@ -105,6 +113,7 @@ func NewContext(o Oracle, cfg *apu.Config, cap units.Watts) (*Context, error) {
 		FreqStride: 1,
 		pairMemo:   map[pairMemoKey]pairChoice{},
 		soloMemo:   map[soloMemoKey]soloChoice{},
+		msMemo:     map[string]units.Seconds{},
 	}, nil
 }
 

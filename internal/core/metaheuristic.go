@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"corun/internal/apu"
 	"corun/internal/units"
@@ -140,6 +141,12 @@ type GeneticOptions struct {
 	// SeedSchedule, if non-nil, joins the initial population (e.g. the
 	// HCS output).
 	SeedSchedule *Schedule
+	// Workers bounds the pool that evaluates candidate fitness in
+	// parallel; zero picks a machine-sized default, one forces serial
+	// evaluation. The search result is identical for every worker
+	// count: candidates are generated sequentially from the seed and
+	// only their (pure) fitness evaluations fan out.
+	Workers int
 }
 
 // Genetic evolves a population of schedules under the predicted-
@@ -167,24 +174,60 @@ func (cx *Context) Genetic(opts GeneticOptions) (*Schedule, units.Seconds, error
 		s *Schedule
 		t units.Seconds
 	}
-	eval := func(s *Schedule) (indiv, bool) {
-		t, err := cx.PredictedMakespan(s)
-		if err != nil {
-			return indiv{}, false
+	// evalBatch scores a candidate batch across the worker pool and
+	// returns the feasible ones in generation order, so the outcome is
+	// independent of the worker count (fitness is a pure function of
+	// the schedule; the context's memo tables are lock-guarded).
+	evalBatch := func(cands []*Schedule) []indiv {
+		type scored struct {
+			t  units.Seconds
+			ok bool
 		}
-		return indiv{s: s, t: t}, true
+		scores := make([]scored, len(cands))
+		workers := boundedWorkers(opts.Workers, len(cands))
+		if workers == 1 {
+			for i, s := range cands {
+				t, err := cx.PredictedMakespan(s)
+				scores[i] = scored{t, err == nil}
+			}
+		} else {
+			idx := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := range idx {
+						t, err := cx.PredictedMakespan(cands[i])
+						scores[i] = scored{t, err == nil}
+					}
+				}()
+			}
+			for i := range cands {
+				idx <- i
+			}
+			close(idx)
+			wg.Wait()
+		}
+		out := make([]indiv, 0, len(cands))
+		for i, sc := range scores {
+			if sc.ok {
+				out = append(out, indiv{s: cands[i], t: sc.t})
+			}
+		}
+		return out
 	}
 
 	var people []indiv
 	if opts.SeedSchedule != nil {
-		if iv, ok := eval(opts.SeedSchedule.Clone()); ok {
-			people = append(people, iv)
-		}
+		people = append(people, evalBatch([]*Schedule{opts.SeedSchedule.Clone()})...)
 	}
 	for len(people) < pop {
-		if iv, ok := eval(randomSchedule(n, rng)); ok {
-			people = append(people, iv)
+		cands := make([]*Schedule, 0, pop-len(people))
+		for len(cands) < pop-len(people) {
+			cands = append(cands, randomSchedule(n, rng))
 		}
+		people = append(people, evalBatch(cands)...)
 	}
 
 	tournament := func() indiv {
@@ -209,14 +252,16 @@ func (cx *Context) Genetic(opts GeneticOptions) (*Schedule, units.Seconds, error
 		}
 		next = append(next, champ)
 		for len(next) < pop {
-			a, b := tournament(), tournament()
-			child := crossover(a.s, b.s, n, rng)
-			if rng.Float64() < mut {
-				mutateSchedule(child, rng)
+			cands := make([]*Schedule, 0, pop-len(next))
+			for len(cands) < pop-len(next) {
+				a, b := tournament(), tournament()
+				child := crossover(a.s, b.s, n, rng)
+				if rng.Float64() < mut {
+					mutateSchedule(child, rng)
+				}
+				cands = append(cands, child)
 			}
-			if iv, ok := eval(child); ok {
-				next = append(next, iv)
-			}
+			next = append(next, evalBatch(cands)...)
 		}
 		people = next
 	}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"corun/internal/units"
 )
@@ -10,6 +12,31 @@ import (
 // space is sum_k C(n,k)*k!*(n-k)! = (n+1)! configurations, so eight
 // jobs already cost ~360k evaluations.
 const MaxOptimalJobs = 8
+
+// OptimalOptions configures the exhaustive optimal search.
+type OptimalOptions struct {
+	// Workers bounds the worker pool that fans the per-partition
+	// permutation searches out across cores; zero picks a machine-sized
+	// default, one forces the serial search.
+	Workers int
+}
+
+// boundedWorkers resolves a requested worker count against the machine
+// and the task count: zero means one worker per core, and the pool is
+// never larger than the number of tasks.
+func boundedWorkers(requested, tasks int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // OptimalSchedule exhaustively searches every (CPU order, GPU order)
 // partition of the batch and returns the schedule with the smallest
@@ -23,6 +50,16 @@ const MaxOptimalJobs = 8
 // feasible for small batches — it exists to validate the heuristics
 // and the lower bound, not to replace them.
 func (cx *Context) OptimalSchedule() (*Schedule, units.Seconds, error) {
+	return cx.OptimalScheduleOpts(OptimalOptions{})
+}
+
+// OptimalScheduleOpts is OptimalSchedule with an explicit worker pool:
+// each CPU-side subset of the batch is an independent permutation
+// search, so the 2^n subsets fan out across the pool. Results are
+// merged in subset order with a strict less-than comparison, so the
+// returned schedule is bit-for-bit identical for every worker count,
+// including the serial search.
+func (cx *Context) OptimalScheduleOpts(opts OptimalOptions) (*Schedule, units.Seconds, error) {
 	n := cx.Oracle.NumJobs()
 	if n == 0 {
 		return &Schedule{Exclusive: map[int]bool{}}, 0, nil
@@ -31,47 +68,79 @@ func (cx *Context) OptimalSchedule() (*Schedule, units.Seconds, error) {
 		return nil, 0, fmt.Errorf("core: optimal search supports at most %d jobs, got %d", MaxOptimalJobs, n)
 	}
 
-	var best *Schedule
-	bestT := units.Seconds(0)
-	found := false
-
 	jobs := make([]int, n)
 	for i := range jobs {
 		jobs[i] = i
 	}
 
-	// Enumerate subsets for the CPU side, then permutations of both
-	// sides.
-	for mask := 0; mask < 1<<n; mask++ {
-		var cpu, gpu []int
-		for i := 0; i < n; i++ {
-			if mask&(1<<i) != 0 {
-				cpu = append(cpu, jobs[i])
-			} else {
-				gpu = append(gpu, jobs[i])
+	type maskResult struct {
+		best  *Schedule
+		bestT units.Seconds
+		found bool
+	}
+	results := make([]maskResult, 1<<n)
+	workers := boundedWorkers(opts.Workers, len(results))
+	masks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for mask := range masks {
+				best, bestT, found := cx.searchMask(jobs, mask)
+				results[mask] = maskResult{best, bestT, found}
 			}
+		}()
+	}
+	for mask := range results {
+		masks <- mask
+	}
+	close(masks)
+	wg.Wait()
+
+	var best *Schedule
+	bestT := units.Seconds(0)
+	found := false
+	for _, r := range results {
+		if r.found && (!found || r.bestT < bestT) {
+			best, bestT, found = r.best, r.bestT, true
 		}
-		forEachPermutation(cpu, func(cp []int) {
-			forEachPermutation(gpu, func(gp []int) {
-				s := &Schedule{
-					CPUOrder:  append([]int(nil), cp...),
-					GPUOrder:  append([]int(nil), gp...),
-					Exclusive: map[int]bool{},
-				}
-				t, err := cx.PredictedMakespan(s)
-				if err != nil {
-					return
-				}
-				if !found || t < bestT {
-					best, bestT, found = s, t, true
-				}
-			})
-		})
 	}
 	if !found {
 		return nil, 0, fmt.Errorf("core: no feasible schedule under cap %v", cx.Cap)
 	}
 	return best, bestT, nil
+}
+
+// searchMask runs the permutation search of one CPU-side subset: jobs
+// whose bit is set in mask go to the CPU queue, the rest to the GPU
+// queue, and both sides are permuted exhaustively.
+func (cx *Context) searchMask(jobs []int, mask int) (best *Schedule, bestT units.Seconds, found bool) {
+	var cpu, gpu []int
+	for i := range jobs {
+		if mask&(1<<i) != 0 {
+			cpu = append(cpu, jobs[i])
+		} else {
+			gpu = append(gpu, jobs[i])
+		}
+	}
+	forEachPermutation(cpu, func(cp []int) {
+		forEachPermutation(gpu, func(gp []int) {
+			s := &Schedule{
+				CPUOrder:  append([]int(nil), cp...),
+				GPUOrder:  append([]int(nil), gp...),
+				Exclusive: map[int]bool{},
+			}
+			t, err := cx.PredictedMakespan(s)
+			if err != nil {
+				return
+			}
+			if !found || t < bestT {
+				best, bestT, found = s, t, true
+			}
+		})
+	})
+	return best, bestT, found
 }
 
 // forEachPermutation calls f with every permutation of xs (Heap's

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"corun/internal/apu"
 	"corun/internal/memsys"
@@ -89,15 +90,57 @@ type plannedJob struct {
 	frac float64 // fraction of the job's work still to do
 }
 
+// memoKey encodes the schedule's planning-relevant content — both
+// dispatch orders with per-job exclusivity marks — as the predicted-
+// makespan memo key.
+func (s *Schedule) memoKey() string {
+	b := make([]byte, 0, 4*(len(s.CPUOrder)+len(s.GPUOrder))+1)
+	appendQ := func(q []int) {
+		for _, j := range q {
+			b = strconv.AppendInt(b, int64(j), 10)
+			if s.Exclusive[j] {
+				b = append(b, '!')
+			}
+			b = append(b, ',')
+		}
+	}
+	appendQ(s.CPUOrder)
+	b = append(b, '|')
+	appendQ(s.GPUOrder)
+	return string(b)
+}
+
 // PredictedMakespan evaluates the schedule on predicted data: it walks
 // the two queues with the same dispatch and exclusivity rules the
 // executor uses, applying ChoosePairFreqs to every pairing and the
 // side-note partial-overlap arithmetic to every segment. It is the
-// objective function of the HCS+ refinement.
+// objective function of the HCS+ refinement and of the search
+// policies, which revisit candidate schedules, so successful
+// evaluations are memoized (bounded; see maxMakespanMemo).
 func (cx *Context) PredictedMakespan(s *Schedule) (units.Seconds, error) {
 	if err := s.Validate(cx.Oracle.NumJobs()); err != nil {
 		return 0, err
 	}
+	key := s.memoKey()
+	cx.mu.Lock()
+	if t, ok := cx.msMemo[key]; ok {
+		cx.mu.Unlock()
+		return t, nil
+	}
+	cx.mu.Unlock()
+	t, err := cx.predictedMakespanUncached(s)
+	if err != nil {
+		return 0, err
+	}
+	cx.mu.Lock()
+	if len(cx.msMemo) < maxMakespanMemo {
+		cx.msMemo[key] = t
+	}
+	cx.mu.Unlock()
+	return t, nil
+}
+
+func (cx *Context) predictedMakespanUncached(s *Schedule) (units.Seconds, error) {
 	cpuQ := append([]int(nil), s.CPUOrder...)
 	gpuQ := append([]int(nil), s.GPUOrder...)
 	var cpuRun, gpuRun *plannedJob

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"corun/internal/core"
+	"corun/internal/policy"
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+// PolicyOutcome is one registered policy's plan on the sweep batch.
+type PolicyOutcome struct {
+	Policy    string        `json:"policy"`
+	Predicted units.Seconds `json:"predicted_makespan_s"`
+	Simulated units.Seconds `json:"simulated_makespan_s"`
+	Error     string        `json:"error,omitempty"`
+}
+
+// PolicySweepResult compares every policy in the registry — the sweep
+// enumerates the registry rather than a hand-maintained list, so a
+// newly registered policy joins the comparison automatically.
+type PolicySweepResult struct {
+	N        int             `json:"n"`
+	CapWatts float64         `json:"cap_watts"`
+	Outcomes []PolicyOutcome `json:"outcomes"`
+}
+
+// PolicySweep plans a 6-job batch (small enough for the optimal bound)
+// under every registered policy on one shared scheduling context, then
+// executes each plan, reporting predicted and simulated makespans.
+func (s *Suite) PolicySweep() (*PolicySweepResult, error) {
+	batch, err := workload.Subset("streamcluster", "cfd", "dwt2d", "hotspot", "srad", "lud")
+	if err != nil {
+		return nil, err
+	}
+	const cap = units.Watts(15)
+	cx, _, err := s.context(batch, cap)
+	if err != nil {
+		return nil, err
+	}
+	out := &PolicySweepResult{N: len(batch), CapWatts: float64(cap)}
+	for _, name := range policy.Names() {
+		oc := PolicyOutcome{Policy: name}
+		plan, err := policy.Plan(name, cx, policy.Options{Seed: 7})
+		if err != nil {
+			oc.Error = err.Error()
+			out.Outcomes = append(out.Outcomes, oc)
+			continue
+		}
+		if oc.Predicted, err = cx.PredictedMakespan(plan); err != nil {
+			oc.Error = err.Error()
+			out.Outcomes = append(out.Outcomes, oc)
+			continue
+		}
+		res, err := cx.Execute(plan, batch, core.ExecOptions{Cfg: s.Cfg, Mem: s.Mem, Cap: cap})
+		if err != nil {
+			oc.Error = err.Error()
+			out.Outcomes = append(out.Outcomes, oc)
+			continue
+		}
+		oc.Simulated = res.Makespan
+		out.Outcomes = append(out.Outcomes, oc)
+	}
+	return out, nil
+}
+
+// WriteText renders the sweep as a table.
+func (r *PolicySweepResult) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%d jobs under a %gW cap, every registered policy:\n", r.N, r.CapWatts); err != nil {
+		return err
+	}
+	for _, oc := range r.Outcomes {
+		if oc.Error != "" {
+			if _, err := fmt.Fprintf(w, "  %-10s error: %s\n", oc.Policy, oc.Error); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %-10s predicted %6.1fs  simulated %6.1fs\n",
+			oc.Policy, float64(oc.Predicted), float64(oc.Simulated)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -16,84 +16,80 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"strings"
 
 	"corun/internal/apu"
 	"corun/internal/core"
 	"corun/internal/kernelsim"
 	"corun/internal/memsys"
 	"corun/internal/model"
+	"corun/internal/policy"
 	"corun/internal/profile"
 	"corun/internal/sim"
 	"corun/internal/units"
 	"corun/internal/workload"
 )
 
-// Policy selects how each epoch's queue is scheduled.
-type Policy int
+// Policy names the per-epoch scheduling policy. It is a canonical name
+// from the internal/policy registry — the single source of truth for
+// which policies exist — so every registered planner (hcs+, hcs,
+// optimal, anneal, genetic, ...) can serve epochs, while the Random
+// and Default names keep the paper's dispatcher-driven baseline
+// semantics (section VI-A) rather than their planned registry forms.
+type Policy string
 
-// Policies.
+// The paper's serving policies. Any other registered policy name is
+// equally valid; these constants exist for the common cases and
+// backwards compatibility.
 const (
 	// PolicyHCSPlus plans each epoch with HCS plus refinement.
-	PolicyHCSPlus Policy = iota
+	PolicyHCSPlus Policy = "hcs+"
 	// PolicyHCS plans with plain HCS.
-	PolicyHCS
+	PolicyHCS Policy = "hcs"
 	// PolicyRandom dispatches each epoch with the Random baseline.
-	PolicyRandom
+	PolicyRandom Policy = "random"
 	// PolicyDefault dispatches each epoch with the Default baseline.
-	PolicyDefault
+	PolicyDefault Policy = "default"
 )
 
 // String implements fmt.Stringer.
-func (p Policy) String() string {
-	switch p {
-	case PolicyHCSPlus:
-		return "hcs+"
-	case PolicyHCS:
-		return "hcs"
-	case PolicyRandom:
-		return "random"
-	case PolicyDefault:
-		return "default"
-	default:
-		return fmt.Sprintf("Policy(%d)", int(p))
+func (p Policy) String() string { return string(p) }
+
+// Canonical resolves the policy through the registry to its canonical
+// name (aliases and case differences collapse). Unknown names are an
+// error listing every registered policy.
+func (p Policy) Canonical() (Policy, error) {
+	name, err := policy.Canonical(string(p))
+	if err != nil {
+		return "", err
 	}
+	return Policy(name), nil
 }
 
-// Valid reports whether p is one of the defined policies. Callers
-// accepting policy values from the outside (flags, HTTP requests)
-// should check this rather than letting an unknown value surface as a
-// mid-epoch scheduling error.
+// Valid reports whether p names a registered policy. Callers accepting
+// policy values from the outside (flags, HTTP requests) should check
+// this rather than letting an unknown value surface as a mid-epoch
+// scheduling error.
 func (p Policy) Valid() error {
-	switch p {
-	case PolicyHCSPlus, PolicyHCS, PolicyRandom, PolicyDefault:
-		return nil
-	default:
-		return fmt.Errorf("online: unknown policy %v", p)
-	}
+	_, err := p.Canonical()
+	return err
 }
 
-// Policies returns every defined policy in display order.
+// Policies returns every registered policy by canonical name, sorted.
 func Policies() []Policy {
-	return []Policy{PolicyHCSPlus, PolicyHCS, PolicyRandom, PolicyDefault}
+	names := policy.Names()
+	out := make([]Policy, len(names))
+	for i, n := range names {
+		out[i] = Policy(n)
+	}
+	return out
 }
 
-// ParsePolicy maps a policy name ("hcs+", "hcsplus", "hcs", "random",
-// "default", case-insensitive) to its Policy value. Unknown names are
-// an error, never a silent default — API layers turn this into a 400.
+// ParsePolicy resolves a policy name through the registry (canonical
+// names and aliases, case-insensitive) to its canonical Policy value.
+// Unknown names are an error listing every registered policy, never a
+// silent default — API layers turn this into a 400.
 func ParsePolicy(s string) (Policy, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "hcs+", "hcsplus":
-		return PolicyHCSPlus, nil
-	case "hcs":
-		return PolicyHCS, nil
-	case "random":
-		return PolicyRandom, nil
-	case "default":
-		return PolicyDefault, nil
-	default:
-		return 0, fmt.Errorf("online: unknown policy %q (want hcs+ | hcs | random | default)", s)
-	}
+	return Policy(s).Canonical()
 }
 
 // Arrival is one job arriving at the server.
@@ -153,13 +149,17 @@ func (o Options) Validate() error {
 	if o.Cfg == nil || o.Mem == nil {
 		return fmt.Errorf("online: nil machine or memory model")
 	}
-	if err := o.Policy.Valid(); err != nil {
+	pol, err := o.Policy.Canonical()
+	if err != nil {
 		return err
 	}
 	if o.Cap < 0 {
 		return fmt.Errorf("online: negative power cap %v", o.Cap)
 	}
-	if (o.Policy == PolicyHCSPlus || o.Policy == PolicyHCS || o.Policy == PolicyDefault) && o.Char == nil {
+	// Every policy except the dispatcher-driven Random baseline plans
+	// over the predictive model and therefore needs the offline
+	// characterization.
+	if pol != PolicyRandom && o.Char == nil {
 		return fmt.Errorf("online: model-based policies need a characterization")
 	}
 	return nil
@@ -311,12 +311,21 @@ type Epoch struct {
 // policy. Instance IDs in the batch must equal their indices. This is
 // the building block a long-running daemon drives directly: it owns
 // the queue and the clock, and calls PlanEpoch once per round.
+//
+// The Random and Default names run the paper's dispatcher-driven
+// baselines; every other name resolves through the policy registry,
+// plans a schedule over the (memoized) predictive model, and executes
+// that plan.
 func PlanEpoch(opts Options, batch []*workload.Instance, seed int64) (*Epoch, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	pol, err := opts.Policy.Canonical()
+	if err != nil {
+		return nil, err
+	}
 	execOpts := core.ExecOptions{Cfg: opts.Cfg, Mem: opts.Mem, Cap: opts.Cap}
-	switch opts.Policy {
+	switch pol {
 	case PolicyRandom:
 		if opts.Planned != nil {
 			opts.Planned(nil, 0)
@@ -327,11 +336,7 @@ func PlanEpoch(opts Options, batch []*workload.Instance, seed int64) (*Epoch, er
 		}
 		return &Epoch{Result: res}, nil
 	case PolicyDefault:
-		prof, err := profile.Collect(opts.Cfg, opts.Mem, batch)
-		if err != nil {
-			return nil, err
-		}
-		pred, err := model.NewPredictor(opts.Char, prof)
+		pred, err := epochOracle(opts, batch)
 		if err != nil {
 			return nil, err
 		}
@@ -343,12 +348,8 @@ func PlanEpoch(opts Options, batch []*workload.Instance, seed int64) (*Epoch, er
 			return nil, err
 		}
 		return &Epoch{Result: res}, nil
-	case PolicyHCS, PolicyHCSPlus:
-		prof, err := profile.Collect(opts.Cfg, opts.Mem, batch)
-		if err != nil {
-			return nil, err
-		}
-		pred, err := model.NewPredictor(opts.Char, prof)
+	default:
+		pred, err := epochOracle(opts, batch)
 		if err != nil {
 			return nil, err
 		}
@@ -356,15 +357,9 @@ func PlanEpoch(opts Options, batch []*workload.Instance, seed int64) (*Epoch, er
 		if err != nil {
 			return nil, err
 		}
-		plan, err := cx.HCS(core.HCSOptions{})
+		plan, err := policy.Plan(string(pol), cx, policy.Options{Seed: seed})
 		if err != nil {
 			return nil, err
-		}
-		if opts.Policy == PolicyHCSPlus {
-			plan, _, err = cx.Refine(plan, core.RefineOptions{Seed: seed})
-			if err != nil {
-				return nil, err
-			}
 		}
 		predicted, err := cx.PredictedMakespan(plan)
 		if err != nil {
@@ -378,9 +373,23 @@ func PlanEpoch(opts Options, batch []*workload.Instance, seed int64) (*Epoch, er
 			return nil, err
 		}
 		return &Epoch{Plan: plan, Predicted: predicted, Result: res}, nil
-	default:
-		return nil, fmt.Errorf("online: unknown policy %v", opts.Policy)
 	}
+}
+
+// epochOracle assembles the epoch's predictive oracle: profile the
+// batch, bind the profiles to the characterization, and wrap the
+// result in the memoizing cache so repeated interpolation queries
+// within the planning pass are answered once.
+func epochOracle(opts Options, batch []*workload.Instance) (core.Oracle, error) {
+	prof, err := profile.Collect(opts.Cfg, opts.Mem, batch)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := model.NewPredictor(opts.Char, prof)
+	if err != nil {
+		return nil, err
+	}
+	return model.NewCachedPredictor(pred, opts.Cfg)
 }
 
 // GenerateArrivals produces a seeded arrival stream: n jobs drawn

@@ -181,8 +181,8 @@ func TestPolicyString(t *testing.T) {
 		PolicyHCS.String() != "hcs" || PolicyDefault.String() != "default" {
 		t.Error("policy names wrong")
 	}
-	if Policy(99).String() == "" {
-		t.Error("unknown policy renders empty")
+	if Policy("fifo").String() != "fifo" {
+		t.Error("unknown policy does not render its own name")
 	}
 }
 
@@ -205,7 +205,7 @@ func TestServePolicyHCS(t *testing.T) {
 
 // Unknown policies error cleanly.
 func TestServeUnknownPolicy(t *testing.T) {
-	opts := testOptions(t, Policy(42))
+	opts := testOptions(t, Policy("fifo"))
 	if _, err := Serve(opts, []Arrival{{Prog: workload.MustByName("lud"), Scale: 1}}); err == nil {
 		t.Error("unknown policy accepted")
 	}
@@ -236,8 +236,8 @@ func TestParsePolicy(t *testing.T) {
 			t.Errorf("round trip %v -> %q -> %v, %v", p, p.String(), rt, err)
 		}
 	}
-	if err := Policy(7).Valid(); err == nil {
-		t.Error("Policy(7) valid")
+	if err := Policy("fifo").Valid(); err == nil {
+		t.Error(`Policy("fifo") valid`)
 	}
 }
 
@@ -247,7 +247,7 @@ func TestOptionsValidate(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := opts
-	bad.Policy = Policy(9)
+	bad.Policy = Policy("fifo")
 	if err := bad.Validate(); err == nil {
 		t.Error("unknown policy validated")
 	}

@@ -1,0 +1,82 @@
+// Benchmarks for the memoized prediction layer: repeated planning over
+// one shared model.CachedPredictor versus the uncached baseline. Each
+// iteration plans on a fresh scheduling context (fresh frequency and
+// makespan memos), so the cached arms measure exactly what survives
+// between plans in the corund serving pattern — the predictor-level
+// degradation/power memos. Run via `make bench`:
+//
+//	go test -run='^$' -bench=. -benchmem ./internal/policy/
+package policy_test
+
+import (
+	"testing"
+
+	"corun/internal/core"
+	"corun/internal/model"
+	"corun/internal/policy"
+	"corun/internal/workload"
+)
+
+// planLoop replans the batch b.N times, one fresh context per
+// iteration over the given oracle.
+func planLoop(b *testing.B, o core.Oracle, name string) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cx := contextOver(b, o)
+		if _, err := policy.Plan(name, cx, policy.Options{Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// hitRate reports the cache's hit percentage for the benchmark output.
+func hitRate(c *model.CachedPredictor) float64 {
+	s := c.Stats()
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return 100 * float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// BenchmarkHCSPlusPlanningUncached replans HCS+ on the paper's 8-job
+// batch with the raw staged-interpolation predictor.
+func BenchmarkHCSPlusPlanningUncached(b *testing.B) {
+	pred := predictorFor(b, workload.Batch8())
+	planLoop(b, pred, "hcs+")
+}
+
+// BenchmarkHCSPlusPlanningCached is the same replanning loop over a
+// shared CachedPredictor; iterations after the first hit the memo.
+func BenchmarkHCSPlusPlanningCached(b *testing.B) {
+	pred := predictorFor(b, workload.Batch8())
+	cached, err := model.NewCachedPredictor(pred, testCfg(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	planLoop(b, cached, "hcs+")
+	b.ReportMetric(hitRate(cached), "%cache-hits")
+}
+
+// BenchmarkOptimal8Uncached runs the exhaustive optimal search on the
+// 8-job batch with the raw predictor. The search's own hot loop reads
+// the context's per-pair frequency memo, so the predictor cache's
+// contribution here is the pair-table construction of each fresh
+// context; the pair against BenchmarkOptimal8Cached chiefly proves the
+// shared cache costs the fanned-out search nothing.
+func BenchmarkOptimal8Uncached(b *testing.B) {
+	pred := predictorFor(b, workload.Batch8())
+	planLoop(b, pred, "optimal")
+}
+
+// BenchmarkOptimal8Cached is the same search over a shared
+// CachedPredictor.
+func BenchmarkOptimal8Cached(b *testing.B) {
+	pred := predictorFor(b, workload.Batch8())
+	cached, err := model.NewCachedPredictor(pred, testCfg(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	planLoop(b, cached, "optimal")
+	b.ReportMetric(hitRate(cached), "%cache-hits")
+}

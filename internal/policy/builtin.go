@@ -1,0 +1,93 @@
+package policy
+
+import (
+	"corun/internal/core"
+)
+
+// planner is the registry's builtin implementation: a named plan
+// function. Custom policies outside this package implement Policy
+// directly.
+type planner struct {
+	name string
+	desc string
+	plan func(cx *core.Context, opts Options) (*core.Schedule, error)
+}
+
+func (p *planner) Name() string     { return p.name }
+func (p *planner) Describe() string { return p.desc }
+func (p *planner) Plan(cx *core.Context, opts Options) (*core.Schedule, error) {
+	return p.plan(cx, opts)
+}
+
+// The paper's policy family registers at init; adding a policy is one
+// Register call (typically from the new policy's own file).
+func init() {
+	Register(&planner{
+		name: "hcs",
+		desc: "heuristic co-scheduling (section IV-A): partition, categorize, greedy plan",
+		plan: func(cx *core.Context, opts Options) (*core.Schedule, error) {
+			return cx.HCS(opts.HCS)
+		},
+	})
+	Register(&planner{
+		name: "hcs+",
+		desc: "HCS plus the post local refinement (section IV-A.3)",
+		plan: func(cx *core.Context, opts Options) (*core.Schedule, error) {
+			s, _, err := cx.HCSPlus(opts.HCS, core.RefineOptions{Seed: opts.Seed})
+			return s, err
+		},
+	}, "hcsplus")
+	Register(&planner{
+		name: "optimal",
+		desc: "exhaustive optimal-makespan search (validation; at most 8 jobs)",
+		plan: func(cx *core.Context, opts Options) (*core.Schedule, error) {
+			s, _, err := cx.OptimalScheduleOpts(core.OptimalOptions{Workers: opts.Workers})
+			return s, err
+		},
+	})
+	Register(&planner{
+		name: "anneal",
+		desc: "simulated annealing over the schedule space, seeded by HCS",
+		plan: func(cx *core.Context, opts Options) (*core.Schedule, error) {
+			seed, err := cx.HCS(opts.HCS)
+			if err != nil {
+				return nil, err
+			}
+			s, _, err := cx.Anneal(seed, core.AnnealOptions{Seed: opts.Seed})
+			return s, err
+		},
+	})
+	Register(&planner{
+		name: "genetic",
+		desc: "evolutionary search over the schedule space, seeded by HCS",
+		plan: func(cx *core.Context, opts Options) (*core.Schedule, error) {
+			// The HCS seed joins the initial population when feasible;
+			// the search stands alone when it is not.
+			gopts := core.GeneticOptions{Seed: opts.Seed, Workers: opts.Workers}
+			if seed, err := cx.HCS(opts.HCS); err == nil {
+				gopts.SeedSchedule = seed
+			}
+			s, _, err := cx.Genetic(gopts)
+			return s, err
+		},
+	}, "metaheuristic")
+	Register(&planner{
+		name: "random",
+		desc: "Random baseline plan: seeded random placement and order",
+		plan: func(cx *core.Context, opts Options) (*core.Schedule, error) {
+			return core.RandomPlan(cx.Oracle.NumJobs(), opts.Seed), nil
+		},
+	})
+	Register(&planner{
+		name: "default",
+		desc: "Default baseline plan: ranking partition, sequential per-device queues",
+		plan: func(cx *core.Context, opts Options) (*core.Schedule, error) {
+			cpu, gpu := core.DefaultPartition(cx.Oracle, cx.Cfg)
+			return &core.Schedule{
+				CPUOrder:  cpu,
+				GPUOrder:  gpu,
+				Exclusive: map[int]bool{},
+			}, nil
+		},
+	})
+}

@@ -1,0 +1,51 @@
+package policy
+
+import (
+	"fmt"
+
+	"corun/internal/core"
+	"corun/internal/units"
+)
+
+// Engine is the shared scheduling entry point: one prepared context,
+// any registered policy by name. It is safe for concurrent use — the
+// context's memo tables (frequency choices, predicted makespans) and
+// the oracle behind it (model.CachedPredictor in the assembled system)
+// are lock-guarded, so concurrent Plan calls share, rather than
+// repeat, the expensive staged-interpolation queries.
+//
+// Cache lifetime follows the context: an Engine stays valid as long as
+// its batch, characterization, and power cap do. Changing the cap or
+// re-characterizing requires a new context (and therefore a new
+// Engine); the raw degradation/power memos of a CachedPredictor are
+// cap-independent and may be carried over.
+type Engine struct {
+	cx *core.Context
+}
+
+// NewEngine wraps a prepared context.
+func NewEngine(cx *core.Context) (*Engine, error) {
+	if cx == nil {
+		return nil, fmt.Errorf("policy: nil scheduling context")
+	}
+	return &Engine{cx: cx}, nil
+}
+
+// Context exposes the underlying scheduling context.
+func (e *Engine) Context() *core.Context { return e.cx }
+
+// Plan resolves the named policy through the registry and plans the
+// context's batch with it.
+func (e *Engine) Plan(name string, opts Options) (*core.Schedule, error) {
+	p, err := Parse(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Plan(e.cx, opts)
+}
+
+// PredictedMakespan evaluates a schedule on the engine's predictive
+// model (memoized per schedule).
+func (e *Engine) PredictedMakespan(s *core.Schedule) (units.Seconds, error) {
+	return e.cx.PredictedMakespan(s)
+}

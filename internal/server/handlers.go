@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"corun/internal/online"
+	"corun/internal/policy"
 	"corun/internal/units"
 	"corun/internal/workload"
 )
@@ -19,6 +20,7 @@ import (
 //	GET  /v1/plan      most recent epoch's schedule and power budget
 //	GET  /v1/cap       current power cap
 //	POST /v1/cap       change the power cap live
+//	GET  /v1/policies  registered scheduling policies and the active one
 //	POST /v1/policy    change the epoch scheduling policy live
 //	GET  /v1/trace     epoch trace (CSV, or JSON with ?format=json)
 //	GET  /healthz      200 while accepting, 503 while draining
@@ -31,6 +33,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/plan", s.handlePlan)
 	mux.HandleFunc("GET /v1/cap", s.handleGetCap)
 	mux.HandleFunc("POST /v1/cap", s.handleSetCap)
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("POST /v1/policy", s.handleSetPolicy)
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -117,6 +120,15 @@ func (s *Server) handleSetCap(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]float64{"cap_watts": float64(s.Cap())})
 }
 
+// handlePolicies lists the policy registry — the set a POST /v1/policy
+// hot-swap accepts — plus the currently active policy.
+func (s *Server) handlePolicies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"policies": policy.List(),
+		"active":   s.Policy().String(),
+	})
+}
+
 func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Policy string `json:"policy"`
@@ -124,7 +136,7 @@ func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, errors.New(`server: body must be {"policy": "hcs+ | hcs | random | default"}`))
+		writeErr(w, http.StatusBadRequest, errors.New(`server: body must be {"policy": "<name>"}; GET /v1/policies lists the registered names`))
 		return
 	}
 	p, err := online.ParsePolicy(req.Policy)

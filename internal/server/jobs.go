@@ -30,12 +30,12 @@ func (s JobState) Terminal() bool { return s == JobDone || s == JobFailed }
 // on the node's scheduling clock (which advances by each epoch's
 // makespan); SubmittedAt is wall-clock time.
 type Job struct {
-	ID        string    `json:"id"`
-	Program   string    `json:"program"`
-	Scale     float64   `json:"scale"`
-	Label     string    `json:"label"`
-	DeadlineS float64   `json:"deadline_s,omitempty"`
-	State     JobState  `json:"state"`
+	ID          string    `json:"id"`
+	Program     string    `json:"program"`
+	Scale       float64   `json:"scale"`
+	Label       string    `json:"label"`
+	DeadlineS   float64   `json:"deadline_s,omitempty"`
+	State       JobState  `json:"state"`
 	SubmittedAt time.Time `json:"submitted_at"`
 
 	// Epoch is the 1-based scheduling round that served the job; 0

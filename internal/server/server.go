@@ -6,10 +6,11 @@
 // power-capped APU node. A single scheduler goroutine owns the epoch
 // loop — exactly the paper's online operating mode: while one planned
 // batch executes, new arrivals queue; when the batch drains, the queue
-// is re-planned with the configured policy (HCS+/HCS/Random/Default)
-// under the current power cap. The cap and policy can be changed live
-// (POST /v1/cap, POST /v1/policy) and take effect at the next epoch,
-// the way a rack-level power manager retunes nodes.
+// is re-planned with the configured policy under the current power
+// cap. Policies resolve through the internal/policy registry
+// (GET /v1/policies lists the registered set), and the cap and policy
+// can be changed live (POST /v1/cap, POST /v1/policy), taking effect
+// at the next epoch, the way a rack-level power manager retunes nodes.
 //
 // Admission control bounds the queue (429 once full), and SIGTERM-style
 // shutdown is graceful: draining stops admission, the in-flight epoch
@@ -81,6 +82,9 @@ func (c *Config) withDefaults() Config {
 	if out.Machine == nil {
 		out.Machine = apu.DefaultConfig()
 	}
+	if out.Policy == "" {
+		out.Policy = online.PolicyHCSPlus
+	}
 	if out.Mem == nil {
 		out.Mem = memsys.Default()
 	}
@@ -96,9 +100,9 @@ func (c *Config) withDefaults() Config {
 // PlanView is the JSON form of one epoch's schedule, served by
 // GET /v1/plan. Orders reference job IDs.
 type PlanView struct {
-	Epoch  int    `json:"epoch"`
-	Policy string `json:"policy"`
-	State  string `json:"state"` // planning | running | done | failed
+	Epoch  int      `json:"epoch"`
+	Policy string   `json:"policy"`
+	State  string   `json:"state"` // planning | running | done | failed
 	Jobs   []string `json:"jobs"`
 
 	CPUOrder  []string `json:"cpu_order,omitempty"`

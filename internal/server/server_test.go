@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"regexp"
 	"strconv"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"corun/internal/memsys"
 	"corun/internal/model"
 	"corun/internal/online"
+	"corun/internal/policy"
 	"corun/internal/workload"
 )
 
@@ -444,6 +446,39 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestListPolicies checks GET /v1/policies returns the registered set
+// and the active policy.
+func TestListPolicies(t *testing.T) {
+	s := newTestServer(t, nil)
+	s.Start(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/v1/policies")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/policies -> %d: %s", code, body)
+	}
+	var got struct {
+		Policies []policy.Info `json:"policies"`
+		Active   string        `json:"active"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("decode %q: %v", body, err)
+	}
+	names := make([]string, len(got.Policies))
+	for i, info := range got.Policies {
+		names[i] = info.Name
+	}
+	if want := policy.Names(); !reflect.DeepEqual(names, want) {
+		t.Errorf("policies %v, want %v", names, want)
+	}
+	if got.Active != s.Policy().String() {
+		t.Errorf("active %q, want %q", got.Active, s.Policy())
+	}
+	s.Drain()
+	<-s.Drained()
+}
+
 // TestLiveCapAndPolicy changes the cap and policy over HTTP and checks
 // the next epoch honours them.
 func TestLiveCapAndPolicy(t *testing.T) {
@@ -490,7 +525,7 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Policy: online.PolicyHCSPlus}); err == nil {
 		t.Error("model policy without characterization accepted")
 	}
-	if _, err := New(Config{Policy: online.Policy(9)}); err == nil {
+	if _, err := New(Config{Policy: online.Policy("fifo")}); err == nil {
 		t.Error("unknown policy accepted")
 	}
 	if _, err := New(Config{Policy: online.PolicyRandom, Cap: 0.5}); err == nil {

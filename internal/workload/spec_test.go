@@ -24,11 +24,11 @@ func TestDecodeJobSpec(t *testing.T) {
 	}
 
 	bad := []string{
-		`{"program":"nope"}`,            // unknown benchmark
-		`{"program":""}`,                // empty program
-		`{}`,                            // no program
-		`{"program":"cfd","scale":-1}`,  // negative scale
-		`{"program":"cfd","dead":1}`,    // unknown field
+		`{"program":"nope"}`,                // unknown benchmark
+		`{"program":""}`,                    // empty program
+		`{}`,                                // no program
+		`{"program":"cfd","scale":-1}`,      // negative scale
+		`{"program":"cfd","dead":1}`,        // unknown field
 		`{"program":"cfd","deadline_s":-5}`, // negative deadline
 		`not json`,
 	}
