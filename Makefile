@@ -1,5 +1,6 @@
 GO ?= go
 GOFMT ?= gofmt
+BENCHTIME ?= 1s
 
 .PHONY: all build test race vet fmtcheck bench verify corund clean
 
@@ -22,10 +23,12 @@ fmtcheck:
 	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# bench runs the cached-vs-uncached planning benchmarks of the policy
-# engine (no tests, with allocation stats).
+# bench runs the planning benchmarks of the policy engine and the
+# append/recovery benchmarks of the state journal (no tests, with
+# allocation stats). BENCHTIME=1x gives a quick smoke run.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem ./internal/policy/
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) \
+		./internal/policy/ ./internal/journal/
 
 # verify is the tier-1 gate: everything must be gofmt-clean, compile,
 # vet clean, and pass the full test suite under the race detector.

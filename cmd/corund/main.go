@@ -7,6 +7,7 @@
 //	corund [-addr :8080] [-cap watts] [-policy name]
 //	       [-machine ivybridge|kaveri] [-max-queue n] [-epoch-gap dur]
 //	       [-char file] [-save-char file] [-seed n]
+//	       [-data-dir dir] [-fsync always|interval|never]
 //
 // The epoch policy is any name registered in the policy registry
 // (hcs+, hcs, optimal, anneal, genetic, random, default, ...);
@@ -18,12 +19,24 @@
 // with -save-char, the deployment shape where one characterization is
 // shared across a fleet.
 //
+// With -data-dir the daemon is durable: every acknowledged state
+// change is journaled (write-ahead log + snapshots, see
+// internal/journal), and restarting against the same directory
+// restores the power cap, active policy, and job table, re-enqueuing
+// every non-terminal job. -fsync tunes the durability/latency
+// trade-off: always (default) fsyncs each acknowledged change,
+// interval fsyncs on a 100ms timer, never leaves flushing to the OS.
+// Without -data-dir the daemon keeps its original in-memory
+// behaviour.
+//
 // Endpoints: POST /v1/jobs, GET /v1/jobs[/{id}], GET /v1/plan,
 // GET|POST /v1/cap, GET /v1/policies, POST /v1/policy, GET /v1/trace,
-// GET /healthz, GET /metrics (Prometheus text format).
+// GET /healthz (liveness), GET /readyz (readiness), GET /metrics
+// (Prometheus text format).
 //
-// SIGINT/SIGTERM drain gracefully: admission stops, the in-flight
-// epoch completes, the queue is flushed, then the process exits.
+// SIGINT/SIGTERM drain gracefully: admission stops (/readyz turns
+// 503), the in-flight epoch completes, the queue is flushed, the
+// journal is fsynced, then the process exits.
 package main
 
 import (
@@ -38,6 +51,7 @@ import (
 	"time"
 
 	"corun/internal/apu"
+	"corun/internal/journal"
 	"corun/internal/memsys"
 	"corun/internal/model"
 	"corun/internal/online"
@@ -56,9 +70,11 @@ func main() {
 	charFile := flag.String("char", "", "load the characterization from this file instead of measuring")
 	saveChar := flag.String("save-char", "", "save the measured characterization to this file")
 	seed := flag.Int64("seed", 1, "seed for refinement sampling and the random policy")
+	dataDir := flag.String("data-dir", "", "durable state journal directory (empty = in-memory only)")
+	fsync := flag.String("fsync", "always", "journal fsync policy: always | interval | never")
 	flag.Parse()
 
-	cfg, err := buildConfig(*machine, *policyFlag, *capW, *maxQueue, *epochGap, *seed, *charFile, *saveChar)
+	cfg, err := buildConfig(*machine, *policyFlag, *capW, *maxQueue, *epochGap, *seed, *charFile, *saveChar, *dataDir, *fsync)
 	if err != nil {
 		log.Fatalf("corund: %v", err)
 	}
@@ -70,8 +86,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("corund: serving on %s (policy %s, cap %gW, queue bound %d)",
-		*addr, cfg.Policy, float64(cfg.Cap), cfg.MaxQueue)
+	durability := "in-memory"
+	if cfg.DataDir != "" {
+		// The server may have recovered a different cap/policy than
+		// the flags; report what it actually runs with.
+		durability = fmt.Sprintf("journal %s, fsync %s", cfg.DataDir, cfg.Fsync)
+	}
+	log.Printf("corund: serving on %s (policy %s, cap %gW, queue bound %d, %s)",
+		*addr, s.Policy(), float64(s.Cap()), cfg.MaxQueue, durability)
 	if err := s.ListenAndServe(ctx, *addr); err != nil {
 		log.Fatalf("corund: %v", err)
 	}
@@ -79,8 +101,9 @@ func main() {
 }
 
 // buildConfig assembles the server configuration: machine preset,
-// policy, and the characterization (measured, or loaded from a file).
-func buildConfig(machine, policy string, capW float64, maxQueue int, epochGap time.Duration, seed int64, charFile, saveChar string) (*server.Config, error) {
+// policy, the characterization (measured, or loaded from a file),
+// and the durability options.
+func buildConfig(machine, policy string, capW float64, maxQueue int, epochGap time.Duration, seed int64, charFile, saveChar, dataDir, fsync string) (*server.Config, error) {
 	var mcfg *apu.Config
 	switch strings.ToLower(machine) {
 	case "ivybridge", "":
@@ -91,6 +114,10 @@ func buildConfig(machine, policy string, capW float64, maxQueue int, epochGap ti
 		return nil, fmt.Errorf("unknown machine %q", machine)
 	}
 	pol, err := online.ParsePolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	fsyncPol, err := journal.ParseFsyncPolicy(fsync)
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +136,8 @@ func buildConfig(machine, policy string, capW float64, maxQueue int, epochGap ti
 		Seed:     seed,
 		MaxQueue: maxQueue,
 		EpochGap: epochGap,
+		DataDir:  dataDir,
+		Fsync:    fsyncPol,
 	}, nil
 }
 

@@ -4,6 +4,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"corun/internal/journal"
 )
 
 func TestBuildConfig(t *testing.T) {
@@ -11,30 +13,41 @@ func TestBuildConfig(t *testing.T) {
 	charPath := filepath.Join(dir, "char.json")
 
 	// Measure once, persisting the characterization.
-	cfg, err := buildConfig("ivybridge", "hcs+", 15, 64, 10*time.Millisecond, 1, "", charPath)
+	cfg, err := buildConfig("ivybridge", "hcs+", 15, 64, 10*time.Millisecond, 1, "", charPath, "", "always")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.Char == nil || cfg.MaxQueue != 64 || float64(cfg.Cap) != 15 {
 		t.Fatalf("config %+v", cfg)
 	}
+	if cfg.DataDir != "" || cfg.Fsync != journal.FsyncAlways {
+		t.Fatalf("durability config %q/%q", cfg.DataDir, cfg.Fsync)
+	}
 
-	// Reload the saved characterization — the fleet deployment path.
-	cfg2, err := buildConfig("ivybridge", "hcs", 16, 32, 0, 2, charPath, "")
+	// Reload the saved characterization — the fleet deployment path —
+	// with the durable journal enabled.
+	dataDir := filepath.Join(dir, "state")
+	cfg2, err := buildConfig("ivybridge", "hcs", 16, 32, 0, 2, charPath, "", dataDir, "interval")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg2.Char == nil {
 		t.Fatal("characterization not loaded")
 	}
+	if cfg2.DataDir != dataDir || cfg2.Fsync != journal.FsyncInterval {
+		t.Fatalf("durability config %q/%q", cfg2.DataDir, cfg2.Fsync)
+	}
 
-	if _, err := buildConfig("cray", "hcs+", 15, 0, 0, 1, "", ""); err == nil {
+	if _, err := buildConfig("cray", "hcs+", 15, 0, 0, 1, "", "", "", "always"); err == nil {
 		t.Error("unknown machine accepted")
 	}
-	if _, err := buildConfig("ivybridge", "fifo", 15, 0, 0, 1, "", ""); err == nil {
+	if _, err := buildConfig("ivybridge", "fifo", 15, 0, 0, 1, "", "", "", "always"); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if _, err := buildConfig("ivybridge", "hcs+", 15, 0, 0, 1, filepath.Join(dir, "missing.json"), ""); err == nil {
+	if _, err := buildConfig("ivybridge", "hcs+", 15, 0, 0, 1, filepath.Join(dir, "missing.json"), "", "", "always"); err == nil {
 		t.Error("missing characterization file accepted")
+	}
+	if _, err := buildConfig("ivybridge", "hcs+", 15, 0, 0, 1, "", "", "", "everysooften"); err == nil {
+		t.Error("unknown fsync policy accepted")
 	}
 }

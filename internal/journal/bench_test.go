@@ -1,0 +1,132 @@
+package journal
+
+// Benchmarks for the journal hot paths: the per-append cost under
+// each fsync policy (the daemon's submission latency floor), batched
+// group appends (the per-epoch transition write), and recovery
+// replay (the daemon's restart time). Run via `make bench`.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchJournal(b *testing.B, pol FsyncPolicy) *Journal {
+	b.Helper()
+	// Compaction off so the benchmark measures appends, not snapshots.
+	j, _, _, err := Open(Options{Dir: b.TempDir(), Fsync: pol, SnapshotBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { j.Close() })
+	return j
+}
+
+func BenchmarkAppend(b *testing.B) {
+	for _, pol := range []FsyncPolicy{FsyncNever, FsyncInterval, FsyncAlways} {
+		b.Run(string(pol), func(b *testing.B) {
+			j := benchJournal(b, pol)
+			rec := jobRecord("job-000000")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := j.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAppendBatch is the epoch-transition shape: one Append call
+// carrying a whole batch of state records, amortizing the fsync.
+func BenchmarkAppendBatch(b *testing.B) {
+	const batch = 16
+	j := benchJournal(b, FsyncAlways)
+	recs := make([]Record, batch)
+	for i := range recs {
+		recs[i] = jobRecord(fmt.Sprintf("job-%06d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append(recs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendParallel exercises group commit: concurrent
+// appenders under FsyncAlways should share fsyncs instead of paying
+// one syscall each.
+func BenchmarkAppendParallel(b *testing.B) {
+	j := benchJournal(b, FsyncAlways)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rec := jobRecord("job-000001")
+		for pb.Next() {
+			if err := j.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkEncodeRecord(b *testing.B) {
+	rec := jobRecord("job-000000")
+	rec.Seq = 42
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = AppendRecord(buf[:0], rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeRecord(b *testing.B) {
+	rec := jobRecord("job-000000")
+	rec.Seq = 42
+	frame, err := AppendRecord(nil, rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeRecord(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecover measures replaying a 1k-record log from scratch —
+// the restart cost of a daemon that crashed before its first
+// compaction.
+func BenchmarkRecover(b *testing.B) {
+	dir := b.TempDir()
+	j, _, _, err := Open(Options{Dir: dir, Fsync: FsyncNever, SnapshotBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1024; i++ {
+		if err := j.Append(jobRecord(fmt.Sprintf("job-%06d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, st, _, err := Open(Options{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(st.Jobs) != 1024 {
+			b.Fatalf("recovered %d jobs", len(st.Jobs))
+		}
+		j.Close()
+	}
+}

@@ -1,0 +1,461 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FsyncPolicy selects when appends are forced to stable storage.
+type FsyncPolicy string
+
+// The fsync policies. Always makes every Append block until its
+// records are fsynced (group commit shares the syscall across
+// concurrent appenders); Interval fsyncs on a background timer,
+// bounding loss to one interval; Never leaves flushing to the OS —
+// a process crash loses nothing, a machine crash loses what the
+// kernel had not written back.
+const (
+	FsyncAlways   FsyncPolicy = "always"
+	FsyncInterval FsyncPolicy = "interval"
+	FsyncNever    FsyncPolicy = "never"
+)
+
+// ParseFsyncPolicy normalizes a policy name; empty means FsyncAlways.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch p := FsyncPolicy(strings.ToLower(strings.TrimSpace(s))); p {
+	case "":
+		return FsyncAlways, nil
+	case FsyncAlways, FsyncInterval, FsyncNever:
+		return p, nil
+	default:
+		return "", fmt.Errorf("journal: unknown fsync policy %q (valid: %s | %s | %s)",
+			s, FsyncAlways, FsyncInterval, FsyncNever)
+	}
+}
+
+// Observer receives journal events for instrumentation. All fields
+// are optional; callbacks run on the appending goroutine and must be
+// cheap and non-blocking.
+type Observer struct {
+	// Append reports one Append call: records written, framed bytes,
+	// and the call's latency (including any group-commit fsync wait).
+	Append func(records, bytes int, latency time.Duration)
+	// Fsync reports one fsync syscall on the log.
+	Fsync func()
+	// Snapshot reports one snapshot-plus-compaction cycle.
+	Snapshot func()
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory; it is created if missing. The journal
+	// owns Dir/wal.log and Dir/snapshot.json.
+	Dir string
+
+	// Fsync is the durability policy; default FsyncAlways.
+	Fsync FsyncPolicy
+
+	// FsyncInterval is the FsyncInterval timer period; default 100ms.
+	FsyncInterval time.Duration
+
+	// SnapshotBytes is the log size that triggers snapshot-plus-
+	// compaction; default 4 MiB, negative disables compaction.
+	SnapshotBytes int64
+
+	// Observer hooks instrumentation into appends and fsyncs.
+	Observer Observer
+}
+
+// RecoverStats reports what Open found and repaired.
+type RecoverStats struct {
+	// SnapshotLoaded reports whether a snapshot file seeded the state.
+	SnapshotLoaded bool
+	// RecordsReplayed counts log records applied on top of the
+	// snapshot (records already covered by the snapshot are skipped).
+	RecordsReplayed int
+	// TruncatedTailBytes is the size of the torn or corrupt log
+	// suffix that recovery cut off; 0 for a clean log.
+	TruncatedTailBytes int64
+	// Jobs is the number of jobs in the recovered state.
+	Jobs int
+}
+
+// ErrClosed is returned by operations on a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+const (
+	logName  = "wal.log"
+	snapName = "snapshot.json"
+)
+
+// Journal is an open write-ahead log. All methods are safe for
+// concurrent use.
+type Journal struct {
+	opts Options
+	dir  string
+
+	mu       sync.Mutex // writer state: buffer, seq, mirror
+	f        *os.File
+	bw       *bufio.Writer
+	seq      uint64 // last assigned sequence number
+	logBytes int64  // log size including still-buffered bytes
+	state    *State // replay mirror, source of snapshots
+	closed   bool
+
+	syncMu  sync.Mutex    // serializes fsync and compaction
+	durable atomic.Uint64 // last seq known flushed and fsynced
+
+	stopInterval chan struct{}
+	intervalDone chan struct{}
+}
+
+// Open recovers the journal in opts.Dir — loading the snapshot if
+// present, replaying the log tail, and truncating a torn or corrupt
+// final record — and returns the open journal, the recovered state
+// (an independent copy), and recovery statistics.
+func Open(opts Options) (*Journal, *State, RecoverStats, error) {
+	var stats RecoverStats
+	if opts.Dir == "" {
+		return nil, nil, stats, errors.New("journal: no directory")
+	}
+	if opts.Fsync == "" {
+		opts.Fsync = FsyncAlways
+	}
+	if _, err := ParseFsyncPolicy(string(opts.Fsync)); err != nil {
+		return nil, nil, stats, err
+	}
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = 100 * time.Millisecond
+	}
+	if opts.SnapshotBytes == 0 {
+		opts.SnapshotBytes = 4 << 20
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, stats, fmt.Errorf("journal: %w", err)
+	}
+
+	st := NewState()
+	var lastSeq uint64
+	snapPath := filepath.Join(opts.Dir, snapName)
+	if b, err := os.ReadFile(snapPath); err == nil {
+		var sf snapshotFile
+		// A corrupt snapshot is not recoverable by truncation — it is
+		// the compacted history — so unlike a torn log tail it is
+		// fatal.
+		if err := json.Unmarshal(b, &sf); err != nil {
+			return nil, nil, stats, fmt.Errorf("journal: corrupt snapshot %s: %w", snapPath, err)
+		}
+		if sf.State != nil {
+			st = sf.State
+			st.reindex()
+		}
+		lastSeq = sf.LastSeq
+		stats.SnapshotLoaded = true
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, stats, fmt.Errorf("journal: %w", err)
+	}
+
+	f, err := os.OpenFile(filepath.Join(opts.Dir, logName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("journal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, stats, fmt.Errorf("journal: reading log: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		r, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			// Torn or corrupt tail: every frame past this point is
+			// unframed noise, so cut the log here and carry on from
+			// the last good record.
+			stats.TruncatedTailBytes = int64(len(data) - off)
+			if err := f.Truncate(int64(off)); err != nil {
+				f.Close()
+				return nil, nil, stats, fmt.Errorf("journal: truncating torn tail: %w", err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, nil, stats, fmt.Errorf("journal: %w", err)
+			}
+			break
+		}
+		if r.Seq > lastSeq {
+			if err := st.Apply(r); err != nil {
+				f.Close()
+				return nil, nil, stats, err
+			}
+			lastSeq = r.Seq
+			stats.RecordsReplayed++
+		}
+		off += n
+	}
+	if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, stats, fmt.Errorf("journal: %w", err)
+	}
+	stats.Jobs = len(st.Jobs)
+
+	j := &Journal{
+		opts:     opts,
+		dir:      opts.Dir,
+		f:        f,
+		bw:       bufio.NewWriter(f),
+		seq:      lastSeq,
+		logBytes: int64(off),
+		state:    st,
+	}
+	j.durable.Store(lastSeq)
+	if opts.Fsync == FsyncInterval {
+		j.stopInterval = make(chan struct{})
+		j.intervalDone = make(chan struct{})
+		go j.intervalLoop()
+	}
+	return j, st.Clone(), stats, nil
+}
+
+// snapshotFile is the on-disk snapshot document.
+type snapshotFile struct {
+	Version int    `json:"version"`
+	LastSeq uint64 `json:"last_seq"`
+	State   *State `json:"state"`
+}
+
+// Append journals the records as one group: sequence numbers are
+// assigned, all frames are written together, and — under FsyncAlways
+// — the call blocks until they are on stable storage. Concurrent
+// Appends waiting on durability share one fsync (group commit).
+// Either every record in the call is written or none is.
+func (j *Journal) Append(recs ...Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	start := time.Now()
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	// Encode every frame before writing any, so a bad record cannot
+	// leave a partial batch in the log.
+	startSeq := j.seq
+	buf := make([]byte, 0, 256*len(recs))
+	var err error
+	for i := range recs {
+		j.seq++
+		recs[i].Seq = j.seq
+		buf, err = AppendRecord(buf, recs[i])
+		if err != nil {
+			j.seq = startSeq
+			j.mu.Unlock()
+			return err
+		}
+	}
+	if _, err := j.bw.Write(buf); err != nil {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	j.logBytes += int64(len(buf))
+	for i := range recs {
+		// The mirror only sees records that passed Validate in
+		// AppendRecord, so Apply cannot fail here.
+		_ = j.state.Apply(recs[i])
+	}
+	target := j.seq
+	needSnap := j.opts.SnapshotBytes > 0 && j.logBytes >= j.opts.SnapshotBytes
+	j.mu.Unlock()
+
+	if j.opts.Fsync == FsyncAlways {
+		err = j.syncTo(target)
+	}
+	if err == nil && needSnap {
+		err = j.Compact()
+	}
+	if obs := j.opts.Observer.Append; obs != nil {
+		obs(len(recs), len(buf), time.Since(start))
+	}
+	return err
+}
+
+// Sync flushes and fsyncs everything appended so far, regardless of
+// the fsync policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	target := j.seq
+	j.mu.Unlock()
+	return j.syncTo(target)
+}
+
+// syncTo makes every record up to target durable. The double-checked
+// durable watermark is the group commit: an appender that arrives
+// while another's fsync is in flight blocks on syncMu, and by the
+// time it gets the lock that fsync usually covered its records too,
+// so it returns without a second syscall.
+func (j *Journal) syncTo(target uint64) error {
+	if j.durable.Load() >= target {
+		return nil
+	}
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	if j.durable.Load() >= target {
+		return nil
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	err := j.bw.Flush()
+	flushed := j.seq
+	f := j.f
+	j.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.durable.Store(flushed)
+	if obs := j.opts.Observer.Fsync; obs != nil {
+		obs()
+	}
+	return nil
+}
+
+// Compact writes an atomic snapshot of the materialized state (write
+// to a temp file, fsync, rename, fsync the directory) and truncates
+// the log. A crash between the rename and the truncate is safe: the
+// leftover log records carry sequence numbers at or below the
+// snapshot's LastSeq, and recovery skips them.
+func (j *Journal) Compact() error {
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.compactLocked()
+}
+
+func (j *Journal) compactLocked() error {
+	if err := j.bw.Flush(); err != nil {
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	b, err := json.Marshal(&snapshotFile{Version: 1, LastSeq: j.seq, State: j.state})
+	if err != nil {
+		return fmt.Errorf("journal: encoding snapshot: %w", err)
+	}
+	tmp := filepath.Join(j.dir, snapName+".tmp")
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := tf.Write(b); err == nil {
+		err = tf.Sync()
+	}
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := syncDir(j.dir); err != nil {
+		return err
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: truncating compacted log: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.logBytes = 0
+	j.durable.Store(j.seq)
+	if obs := j.opts.Observer.Snapshot; obs != nil {
+		obs()
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry
+// is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("journal: syncing dir: %w", err)
+	}
+	return nil
+}
+
+// Close flushes, fsyncs, and closes the log; it is idempotent, and
+// further appends return ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	// Stop the interval syncer before taking syncMu: it may be inside
+	// Sync, which needs the lock to finish.
+	if j.stopInterval != nil {
+		close(j.stopInterval)
+		<-j.intervalDone
+	}
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	j.mu.Lock()
+	err := j.bw.Flush()
+	j.mu.Unlock()
+	if serr := j.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (j *Journal) intervalLoop() {
+	defer close(j.intervalDone)
+	t := time.NewTicker(j.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stopInterval:
+			return
+		case <-t.C:
+			// ErrClosed here only means Close won the race; its own
+			// final flush-and-sync covers the tail.
+			_ = j.Sync()
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package journal is corund's durability layer: an append-only
+// write-ahead log of CRC32-framed, length-prefixed records, plus
+// snapshot-with-compaction and crash recovery. Every externally
+// acknowledged state change of the daemon — a job admitted, a job
+// lifecycle transition, a power-cap change, a policy change — is one
+// Record appended to the log; replaying snapshot + log tail rebuilds
+// the full server state after a crash or redeploy.
+//
+// Durability is tunable (FsyncAlways | FsyncInterval | FsyncNever)
+// with group commit: concurrent appenders waiting on the same fsync
+// share one syscall. Once the log outgrows a size threshold the
+// journal writes an atomic snapshot of the materialized State and
+// truncates the log. Recovery is tolerant of a torn or corrupt tail
+// record — the bad suffix is truncated, never fatal — because a torn
+// final write is the expected crash artifact of an append-only log.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+)
+
+// Type tags a Record with the state change it captures.
+type Type string
+
+// The journaled event types. A submitted record carries the job's
+// full admission-time fields; a state record carries the job's full
+// post-transition view (so replay is a plain replace, idempotent
+// under re-delivery); cap and policy records carry the new value.
+const (
+	TypeJobSubmitted  Type = "job_submitted"
+	TypeJobState      Type = "job_state"
+	TypeCapChanged    Type = "cap_changed"
+	TypePolicyChanged Type = "policy_changed"
+)
+
+// JobRecord is the journaled view of one job: the admission fields
+// plus whatever outcome fields the job has accumulated. It mirrors
+// the server's externally visible job record so recovery can restore
+// it bit-for-bit.
+type JobRecord struct {
+	ID          string    `json:"id"`
+	Program     string    `json:"program,omitempty"`
+	Scale       float64   `json:"scale,omitempty"`
+	Label       string    `json:"label,omitempty"`
+	DeadlineS   float64   `json:"deadline_s,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	ArrivedSimS float64   `json:"arrived_sim_s,omitempty"`
+
+	State string `json:"state,omitempty"`
+	Epoch int    `json:"epoch,omitempty"`
+
+	StartedSimS         float64 `json:"started_sim_s,omitempty"`
+	FinishedSimS        float64 `json:"finished_sim_s,omitempty"`
+	PredictedFinishSimS float64 `json:"predicted_finish_sim_s,omitempty"`
+	ResponseS           float64 `json:"response_s,omitempty"`
+
+	Device      string `json:"device,omitempty"`
+	Partner     string `json:"partner,omitempty"`
+	DeadlineMet *bool  `json:"deadline_met,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// Record is one journal entry. Seq is assigned by the journal at
+// append time, strictly increasing across snapshots; recovery uses it
+// to skip log records already folded into a snapshot.
+type Record struct {
+	Seq  uint64 `json:"seq,omitempty"`
+	Type Type   `json:"type"`
+
+	// Job carries the full job view for TypeJobSubmitted and
+	// TypeJobState records.
+	Job *JobRecord `json:"job,omitempty"`
+
+	// CapWatts is the new power cap for TypeCapChanged (pointer so an
+	// explicit 0 = uncapped survives encoding).
+	CapWatts *float64 `json:"cap_watts,omitempty"`
+
+	// Policy is the new scheduling policy for TypePolicyChanged.
+	Policy string `json:"policy,omitempty"`
+
+	// SimClockS, on TypeJobState records of a finished epoch, is the
+	// node's scheduling clock after that epoch; replay keeps the max.
+	SimClockS float64 `json:"sim_clock_s,omitempty"`
+}
+
+// Validate checks that the record carries the payload its type needs.
+func (r Record) Validate() error {
+	switch r.Type {
+	case TypeJobSubmitted, TypeJobState:
+		if r.Job == nil || r.Job.ID == "" {
+			return fmt.Errorf("journal: %s record without a job ID", r.Type)
+		}
+	case TypeCapChanged:
+		if r.CapWatts == nil {
+			return fmt.Errorf("journal: %s record without a cap", r.Type)
+		}
+	case TypePolicyChanged:
+		if r.Policy == "" {
+			return fmt.Errorf("journal: %s record without a policy", r.Type)
+		}
+	default:
+		return fmt.Errorf("journal: unknown record type %q", r.Type)
+	}
+	return nil
+}
+
+// Frame layout: a 4-byte little-endian payload length, a 4-byte
+// little-endian IEEE CRC32 of the payload, then the payload (the
+// record's JSON encoding). The CRC covers only the payload; a bad
+// length is caught by the MaxRecordBytes bound or by the CRC of
+// whatever bytes the bogus length selects.
+const frameHeader = 8
+
+// MaxRecordBytes bounds one record's payload. Anything larger in the
+// length field is corruption, not data — the bound keeps a flipped
+// length bit from turning into a multi-gigabyte allocation.
+const MaxRecordBytes = 1 << 20
+
+// Framing errors. ErrTornRecord marks an incomplete final frame (the
+// classic crash artifact: the process died mid-write); ErrCorrupt
+// marks a frame whose bytes are all present but wrong (CRC mismatch,
+// absurd length, undecodable payload). Recovery treats both the same
+// way — truncate the log from the bad frame on — but callers that
+// scan buffers need to tell "feed me more bytes" from "give up".
+var (
+	ErrTornRecord = errors.New("journal: torn record (short frame)")
+	ErrCorrupt    = errors.New("journal: corrupt record")
+)
+
+// AppendRecord appends the framed encoding of r to dst and returns
+// the extended slice.
+func AppendRecord(dst []byte, r Record) ([]byte, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding record: %w", err)
+	}
+	if len(payload) > MaxRecordBytes {
+		return nil, fmt.Errorf("journal: record payload %d bytes exceeds %d", len(payload), MaxRecordBytes)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// DecodeRecord decodes the first framed record in b, returning the
+// record and the number of bytes consumed. It never panics on
+// arbitrary input: a frame extending past b is ErrTornRecord, and a
+// complete frame with a CRC mismatch, oversized length, or payload
+// that fails to decode or validate is ErrCorrupt.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < frameHeader {
+		return Record{}, 0, ErrTornRecord
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	if n > MaxRecordBytes {
+		return Record{}, 0, fmt.Errorf("%w: length %d exceeds %d", ErrCorrupt, n, MaxRecordBytes)
+	}
+	if uint32(len(b)-frameHeader) < n {
+		return Record{}, 0, ErrTornRecord
+	}
+	payload := b[frameHeader : frameHeader+int(n)]
+	if got := crc32.ChecksumIEEE(payload); got != binary.LittleEndian.Uint32(b[4:8]) {
+		return Record{}, 0, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	var r Record
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return Record{}, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if err := r.Validate(); err != nil {
+		return Record{}, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return r, frameHeader + int(n), nil
+}

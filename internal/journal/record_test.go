@@ -1,0 +1,204 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func capRecord(w float64) Record {
+	return Record{Type: TypeCapChanged, CapWatts: &w}
+}
+
+func jobRecord(id string) Record {
+	return Record{Type: TypeJobSubmitted, Job: &JobRecord{
+		ID: id, Program: "cfd", Scale: 1.25, Label: "nightly", DeadlineS: 90,
+		SubmittedAt: time.Date(2026, 8, 6, 12, 0, 0, 123456789, time.UTC),
+		ArrivedSimS: 41.5, State: "queued",
+	}}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	met := true
+	recs := []Record{
+		jobRecord("job-000001"),
+		{Type: TypeJobState, SimClockS: 77.25, Job: &JobRecord{
+			ID: "job-000001", Program: "cfd", State: "done", Epoch: 3,
+			StartedSimS: 50, FinishedSimS: 77.25, ResponseS: 35.75,
+			Device: "GPU", Partner: "job-000002", DeadlineMet: &met,
+		}},
+		capRecord(18),
+		capRecord(0), // explicit uncapped must survive encoding
+		{Type: TypePolicyChanged, Policy: "hcs+"},
+	}
+	var buf []byte
+	for i := range recs {
+		recs[i].Seq = uint64(i + 1)
+		var err error
+		buf, err = AppendRecord(buf, recs[i])
+		if err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+	}
+	// Decode the concatenated frames back and compare field for field.
+	off := 0
+	for i := range recs {
+		r, n, err := DecodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(r, recs[i]) {
+			t.Errorf("record %d round trip:\n got %+v\nwant %+v", i, r, recs[i])
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Errorf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestDecodeTornAndCorrupt(t *testing.T) {
+	frame, err := AppendRecord(nil, capRecord(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every strict prefix of a frame is torn, never corrupt and never
+	// a success: the missing bytes may still be in flight.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := DecodeRecord(frame[:cut]); !errors.Is(err, ErrTornRecord) {
+			t.Fatalf("prefix len %d: err %v, want ErrTornRecord", cut, err)
+		}
+	}
+
+	// Flipping any payload byte must fail the CRC; flipping a CRC byte
+	// must too.
+	for _, i := range []int{4, frameHeader, len(frame) - 1} {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0xff
+		if _, _, err := DecodeRecord(bad); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("flipped byte %d: err %v, want ErrCorrupt", i, err)
+		}
+	}
+
+	// An absurd length field is corruption, not an allocation.
+	bad := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(bad[0:4], MaxRecordBytes+1)
+	if _, _, err := DecodeRecord(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized length: err %v, want ErrCorrupt", err)
+	}
+
+	// A zero-length payload frames fine but decodes to nothing.
+	var zero [frameHeader]byte
+	if _, _, err := DecodeRecord(zero[:]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("zero-length payload: err %v, want ErrCorrupt", err)
+	}
+
+	// A frame holding valid JSON that fails record validation is
+	// corrupt too (framing can't vouch for semantics).
+	payload := []byte(`{"type":"job_submitted"}`) // no job
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crcOf(payload))
+	if _, _, err := DecodeRecord(append(hdr[:], payload...)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("invalid record: err %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	w := 15.0
+	bad := []Record{
+		{},
+		{Type: "rollback"},
+		{Type: TypeJobSubmitted},
+		{Type: TypeJobState, Job: &JobRecord{}},
+		{Type: TypeCapChanged},
+		{Type: TypePolicyChanged},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("record %d validated", i)
+		}
+		if _, err := AppendRecord(nil, r); err == nil {
+			t.Errorf("record %d encoded", i)
+		}
+	}
+	good := []Record{
+		{Type: TypeCapChanged, CapWatts: &w},
+		{Type: TypePolicyChanged, Policy: "hcs"},
+		{Type: TypeJobState, Job: &JobRecord{ID: "job-000000"}},
+	}
+	for i, r := range good {
+		if err := r.Validate(); err != nil {
+			t.Errorf("record %d: %v", i, err)
+		}
+	}
+}
+
+func TestStateApply(t *testing.T) {
+	st := NewState()
+	if err := st.Apply(jobRecord("job-000000")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Apply(jobRecord("job-000001")); err != nil {
+		t.Fatal(err)
+	}
+	// A state transition replaces the job's record and advances the
+	// clock monotonically.
+	if err := st.Apply(Record{Type: TypeJobState, SimClockS: 99,
+		Job: &JobRecord{ID: "job-000000", Program: "cfd", State: "done"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Apply(Record{Type: TypeJobState, SimClockS: 40,
+		Job: &JobRecord{ID: "job-000001", Program: "cfd", State: "failed"}}); err != nil {
+		t.Fatal(err)
+	}
+	if st.SimClockS != 99 {
+		t.Errorf("clock %v, want 99 (monotone max)", st.SimClockS)
+	}
+	if j, ok := st.Job("job-000000"); !ok || j.State != "done" {
+		t.Errorf("job0 %+v", j)
+	}
+	if len(st.Jobs) != 2 {
+		t.Fatalf("jobs %d", len(st.Jobs))
+	}
+	// A transition for a job whose submission record was truncated
+	// away still lands (tolerance, not strictness, during replay).
+	if err := st.Apply(Record{Type: TypeJobState,
+		Job: &JobRecord{ID: "job-000009", State: "running"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Job("job-000009"); !ok {
+		t.Error("orphan transition dropped")
+	}
+
+	st.Apply(capRecord(18))
+	st.Apply(Record{Type: TypePolicyChanged, Policy: "hcs"})
+	if st.CapWatts == nil || *st.CapWatts != 18 || st.Policy != "hcs" {
+		t.Errorf("cap/policy %+v", st)
+	}
+
+	// Clone detaches deeply.
+	c := st.Clone()
+	st.Apply(capRecord(25))
+	st.Jobs[0].State = "mutated"
+	if *c.CapWatts != 18 || c.Jobs[0].State != "done" {
+		t.Error("clone shares memory with the original")
+	}
+	if j, ok := c.Job("job-000009"); !ok || j.State != "running" {
+		t.Error("clone index broken")
+	}
+}
+
+func TestApplyRejectsUnknownType(t *testing.T) {
+	st := NewState()
+	if err := st.Apply(Record{Type: "merge"}); err == nil || !strings.Contains(err.Error(), "unknown record type") {
+		t.Errorf("err %v", err)
+	}
+}
+
+func crcOf(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

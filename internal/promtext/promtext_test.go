@@ -77,6 +77,76 @@ func TestRegistryRendersTextFormat(t *testing.T) {
 	}
 }
 
+func TestSummary(t *testing.T) {
+	r := NewRegistry()
+	s := r.NewSummary("append_seconds", "Append latency.", []float64{0.5, 0.9, 0.99})
+
+	// Empty summaries expose NaN quantiles but zero sum/count.
+	var buf strings.Builder
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{
+		"# TYPE append_seconds summary",
+		`append_seconds{quantile="0.5"} NaN`,
+		`append_seconds{quantile="0.99"} NaN`,
+		"append_seconds_sum 0",
+		"append_seconds_count 0",
+	} {
+		if !strings.Contains(buf.String(), w+"\n") {
+			t.Errorf("empty summary missing %q:\n%s", w, buf.String())
+		}
+	}
+
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	buf.Reset()
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{
+		`append_seconds{quantile="0.5"} 51`,
+		`append_seconds{quantile="0.9"} 90`,
+		`append_seconds{quantile="0.99"} 99`,
+		"append_seconds_sum 5050",
+		"append_seconds_count 100",
+	} {
+		if !strings.Contains(buf.String(), w+"\n") {
+			t.Errorf("summary missing %q:\n%s", w, buf.String())
+		}
+	}
+
+	// Quantiles track the recent window; sum and count stay cumulative.
+	for i := 0; i < 2*summaryWindow; i++ {
+		s.Observe(9)
+	}
+	buf.Reset()
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `append_seconds{quantile="0.5"} 9`+"\n") {
+		t.Errorf("old observations still dominate:\n%s", buf.String())
+	}
+	if want := uint64(100 + 2*summaryWindow); s.Count() != want {
+		t.Errorf("count %d, want %d", s.Count(), want)
+	}
+
+	for _, fn := range []func(){
+		func() { r.NewSummary("q_range", "x", []float64{0.5, 1.5}) },
+		func() { r.NewSummary("q_order", "x", []float64{0.9, 0.5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad quantiles accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestRegistryHandler(t *testing.T) {
 	r := NewRegistry()
 	r.NewCounter("hits_total", "Hits.").Inc()
@@ -126,6 +196,7 @@ func TestConcurrentUse(t *testing.T) {
 	g := r.NewGauge("g", "x")
 	v := r.NewCounterVec("v_total", "x", "k")
 	h := r.NewHistogram("h_seconds", "x", []float64{1, 10})
+	s := r.NewSummary("s_seconds", "x", []float64{0.5})
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
@@ -136,6 +207,7 @@ func TestConcurrentUse(t *testing.T) {
 				g.Add(1)
 				v.Inc("a")
 				h.Observe(float64(j % 20))
+				s.Observe(float64(j % 20))
 				if j%50 == 0 {
 					var sb strings.Builder
 					_ = r.Write(&sb)
@@ -144,7 +216,8 @@ func TestConcurrentUse(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	if c.Value() != 1600 || g.Value() != 1600 || v.Value("a") != 1600 || h.Count() != 1600 {
-		t.Errorf("lost updates: c=%v g=%v v=%v h=%v", c.Value(), g.Value(), v.Value("a"), h.Count())
+	if c.Value() != 1600 || g.Value() != 1600 || v.Value("a") != 1600 || h.Count() != 1600 || s.Count() != 1600 {
+		t.Errorf("lost updates: c=%v g=%v v=%v h=%v s=%v",
+			c.Value(), g.Value(), v.Value("a"), h.Count(), s.Count())
 	}
 }

@@ -23,8 +23,17 @@ import (
 //	GET  /v1/policies  registered scheduling policies and the active one
 //	POST /v1/policy    change the epoch scheduling policy live
 //	GET  /v1/trace     epoch trace (CSV, or JSON with ?format=json)
-//	GET  /healthz      200 while accepting, 503 while draining
+//	GET  /healthz      liveness: 200 while the process runs
+//	GET  /readyz       readiness: 200 once the scheduler loop has the
+//	                   recovered queue; 503 while draining or while
+//	                   startup recovery replay has not finished
 //	GET  /metrics      Prometheus text exposition
+//
+// Liveness and readiness are split so an orchestrator never restarts
+// a pod for being busy: /healthz only says the process is alive,
+// while /readyz gates traffic — it is 503 both during startup
+// (journal recovery replay has not yet handed the restored queue to
+// the scheduler loop) and during a graceful drain.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -37,6 +46,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/policy", s.handleSetPolicy)
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /metrics", s.m.reg.Handler())
 	return mux
 }
@@ -165,9 +175,16 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.Draining():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !s.Ready():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }

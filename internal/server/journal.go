@@ -1,0 +1,202 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"corun/internal/journal"
+	"corun/internal/online"
+	"corun/internal/units"
+	"corun/internal/workload"
+)
+
+// openJournal opens (and recovers) the durable state journal in
+// cfg.DataDir, restoring the power cap, active policy, scheduling
+// clock, and job table. Non-terminal jobs are re-enqueued: their
+// epoch died with the previous process, so they go back to queued
+// and get replanned by the first epoch after Start. Called from New
+// before the scheduler loop exists, so no locking is needed.
+func (s *Server) openJournal() error {
+	jl, st, stats, err := journal.Open(journal.Options{
+		Dir:           s.cfg.DataDir,
+		Fsync:         s.cfg.Fsync,
+		SnapshotBytes: s.cfg.SnapshotBytes,
+		Observer: journal.Observer{
+			Append: func(records, bytes int, latency time.Duration) {
+				s.m.jlAppends.Add(float64(records))
+				s.m.jlBytes.Add(float64(bytes))
+				s.m.jlAppendLatency.Observe(latency.Seconds())
+			},
+			Fsync:    func() { s.m.jlFsyncs.Inc() },
+			Snapshot: func() { s.m.jlSnapshots.Inc() },
+		},
+	})
+	if err != nil {
+		return err
+	}
+	s.jl = jl
+
+	// Recovered cap and policy win over the configured (flag) values:
+	// the journal carries the live changes made through the API, and a
+	// restart must not silently roll them back. A fresh data dir seeds
+	// the journal with the configured values instead, so the very
+	// first restart already restores them.
+	fail := func(err error) error {
+		jl.Close()
+		s.jl = nil
+		return err
+	}
+	if st.CapWatts != nil {
+		cap := units.Watts(*st.CapWatts)
+		if err := checkCap(s.cfg.Machine, cap); err != nil {
+			return fail(fmt.Errorf("server: recovered power cap: %w", err))
+		}
+		s.capW = cap
+		s.m.capWatts.Set(float64(cap))
+	} else {
+		w := float64(s.capW)
+		if err := jl.Append(journal.Record{Type: journal.TypeCapChanged, CapWatts: &w}); err != nil {
+			return fail(err)
+		}
+	}
+	if st.Policy != "" {
+		p, err := online.ParsePolicy(st.Policy)
+		if err != nil {
+			return fail(fmt.Errorf("server: recovered policy: %w", err))
+		}
+		probe := online.Options{Cfg: s.cfg.Machine, Mem: s.cfg.Mem, Char: s.cfg.Char, Policy: p}
+		if err := probe.Validate(); err != nil {
+			return fail(fmt.Errorf("server: recovered policy: %w", err))
+		}
+		s.policy = p
+	} else {
+		if err := jl.Append(journal.Record{Type: journal.TypePolicyChanged, Policy: s.policy.String()}); err != nil {
+			return fail(err)
+		}
+	}
+
+	requeued := 0
+	for _, jr := range st.Jobs {
+		j := jobFromRecord(jr)
+		if !j.State.Terminal() {
+			// The previous process acknowledged the job but never
+			// finished it; any in-flight epoch is gone, so it starts
+			// over from the queue.
+			j.State = JobQueued
+			j.Epoch = 0
+			j.StartedSimS = 0
+			j.PredictedFinishSimS = 0
+			s.queue = append(s.queue, j)
+			requeued++
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		if n, ok := parseJobID(j.ID); ok && n >= s.nextID {
+			s.nextID = n + 1
+		}
+	}
+	s.simClock = units.Seconds(st.SimClockS)
+
+	s.m.queueDepth.Set(float64(len(s.queue)))
+	s.m.simClock.Set(float64(s.simClock))
+	s.m.jlRecovered.Set(float64(requeued))
+	s.m.jlTruncated.Set(float64(stats.TruncatedTailBytes))
+	return nil
+}
+
+// journalAppend best-effort journals job lifecycle records from the
+// scheduler goroutine. An append failure must not take the node down
+// mid-epoch, so it is counted (corund_journal_errors_total) and the
+// epoch proceeds; the records' durability is lost.
+func (s *Server) journalAppend(recs []journal.Record) {
+	if s.jl == nil || len(recs) == 0 {
+		return
+	}
+	if err := s.jl.Append(recs...); err != nil {
+		s.m.jlErrors.Inc()
+	}
+}
+
+// stateRecord captures a job's post-transition view. clock is the
+// scheduling clock after the transition's epoch (0 for transitions
+// that do not advance it).
+func stateRecord(j *Job, clock float64) journal.Record {
+	return journal.Record{Type: journal.TypeJobState, Job: recordFromJob(j), SimClockS: clock}
+}
+
+// recordFromJob and jobFromRecord convert between the server's job
+// table entry and its journaled form, field for field — recovery
+// must restore acknowledged jobs bit-for-bit.
+func recordFromJob(j *Job) *journal.JobRecord {
+	jr := &journal.JobRecord{
+		ID:                  j.ID,
+		Program:             j.Program,
+		Scale:               j.Scale,
+		Label:               j.Label,
+		DeadlineS:           j.DeadlineS,
+		SubmittedAt:         j.SubmittedAt,
+		ArrivedSimS:         j.ArrivedSimS,
+		State:               string(j.State),
+		Epoch:               j.Epoch,
+		StartedSimS:         j.StartedSimS,
+		FinishedSimS:        j.FinishedSimS,
+		PredictedFinishSimS: j.PredictedFinishSimS,
+		ResponseS:           j.ResponseS,
+		Device:              j.Device,
+		Partner:             j.Partner,
+		Error:               j.Error,
+	}
+	if j.DeadlineMet != nil {
+		b := *j.DeadlineMet
+		jr.DeadlineMet = &b
+	}
+	return jr
+}
+
+func jobFromRecord(jr *journal.JobRecord) *Job {
+	j := &Job{
+		ID:                  jr.ID,
+		Program:             jr.Program,
+		Scale:               jr.Scale,
+		Label:               jr.Label,
+		DeadlineS:           jr.DeadlineS,
+		State:               JobState(jr.State),
+		SubmittedAt:         jr.SubmittedAt,
+		Epoch:               jr.Epoch,
+		ArrivedSimS:         jr.ArrivedSimS,
+		StartedSimS:         jr.StartedSimS,
+		FinishedSimS:        jr.FinishedSimS,
+		PredictedFinishSimS: jr.PredictedFinishSimS,
+		ResponseS:           jr.ResponseS,
+		Device:              jr.Device,
+		Partner:             jr.Partner,
+		Error:               jr.Error,
+		spec: workload.JobSpec{
+			Program:   jr.Program,
+			Scale:     jr.Scale,
+			Label:     jr.Label,
+			DeadlineS: jr.DeadlineS,
+		},
+	}
+	if jr.DeadlineMet != nil {
+		b := *jr.DeadlineMet
+		j.DeadlineMet = &b
+	}
+	return j
+}
+
+// parseJobID extracts the numeric suffix of a "job-%06d" ID so
+// recovery can resume the ID sequence past every restored job.
+func parseJobID(id string) (int, bool) {
+	suffix, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(suffix)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}

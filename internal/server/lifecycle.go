@@ -38,6 +38,17 @@ func (s *Server) DrainAndWait(ctx context.Context) error {
 	}
 }
 
+// Close releases the durable state journal, flushing and fsyncing it
+// first; it is a no-op for in-memory servers and idempotent.
+// ListenAndServe closes after its drain; standalone users of
+// Start/Drain should Close once Drained has fired.
+func (s *Server) Close() error {
+	if s.jl == nil {
+		return nil
+	}
+	return s.jl.Close()
+}
+
 // ListenAndServe runs the daemon at addr until ctx is cancelled, then
 // drains gracefully: admission stops, the scheduler flushes its queue
 // (bounded by Config.DrainTimeout), and the HTTP listener shuts down.
@@ -67,6 +78,9 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	drainErr := s.DrainAndWait(drainCtx)
+	if cerr := s.Close(); cerr != nil && drainErr == nil {
+		drainErr = cerr
+	}
 
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()

@@ -25,6 +25,17 @@ type metrics struct {
 	capWatts     *promtext.Gauge
 	capUtil      *promtext.Gauge
 	simClock     *promtext.Gauge
+
+	// Journal instrumentation. Registered unconditionally so
+	// dashboards see zeros (not absent series) on in-memory daemons.
+	jlAppends       *promtext.Counter
+	jlFsyncs        *promtext.Counter
+	jlBytes         *promtext.Counter
+	jlSnapshots     *promtext.Counter
+	jlErrors        *promtext.Counter
+	jlRecovered     *promtext.Gauge
+	jlTruncated     *promtext.Gauge
+	jlAppendLatency *promtext.Summary
 }
 
 func newMetrics() *metrics {
@@ -62,6 +73,23 @@ func newMetrics() *metrics {
 			"Most recent epoch's average power as a fraction of the cap."),
 		simClock: reg.NewGauge("corund_sim_clock_seconds",
 			"The node's scheduling clock (sum of epoch makespans)."),
+		jlAppends: reg.NewCounter("corund_journal_appends_total",
+			"Records appended to the durable state journal."),
+		jlFsyncs: reg.NewCounter("corund_journal_fsyncs_total",
+			"fsync syscalls issued by the journal (group commit shares one across concurrent appends)."),
+		jlBytes: reg.NewCounter("corund_journal_bytes_total",
+			"Framed bytes written to the journal log."),
+		jlSnapshots: reg.NewCounter("corund_journal_snapshots_total",
+			"Snapshot-plus-compaction cycles completed by the journal."),
+		jlErrors: reg.NewCounter("corund_journal_errors_total",
+			"Journal append failures for job lifecycle records (the epoch proceeds; durability of those records is lost)."),
+		jlRecovered: reg.NewGauge("corund_journal_recovered_jobs",
+			"Non-terminal jobs restored from the journal and re-enqueued at startup."),
+		jlTruncated: reg.NewGauge("corund_journal_truncated_tail_bytes",
+			"Bytes of torn or corrupt log tail truncated during startup recovery."),
+		jlAppendLatency: reg.NewSummary("corund_journal_append_latency_seconds",
+			"Latency of journal appends, including any group-commit fsync wait.",
+			[]float64{0.5, 0.9, 0.99}),
 	}
 	// Pre-register every policy's series so dashboards see zeros
 	// instead of absent series before the first epoch.

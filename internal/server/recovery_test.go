@@ -1,0 +1,163 @@
+package server
+
+// Crash-recovery integration tests: a daemon journaling to a data
+// dir is killed without draining, its log tail is corrupted the way
+// a power cut would, and a second daemon on the same dir must come
+// back with the cap, policy, and every acknowledged job intact.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"corun/internal/journal"
+	"corun/internal/online"
+	"corun/internal/workload"
+)
+
+const walName = "wal.log" // mirrors the journal package's log file name
+
+func newJournalServer(t *testing.T, dir string) *Server {
+	t.Helper()
+	s := newTestServer(t, func(c *Config) {
+		c.DataDir = dir
+		c.Fsync = journal.FsyncAlways
+	})
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newJournalServer(t, dir)
+	ts := httptest.NewServer(s1.Handler())
+	defer ts.Close()
+
+	// The scheduler loop was never started: liveness holds but the
+	// daemon is not ready to serve jobs yet.
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz -> %d: %s", code, body)
+	}
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Fatalf("readyz before start -> %d: %s", code, body)
+	}
+
+	// Acknowledge three jobs and two control changes; with
+	// FsyncAlways every 2xx response implies a durable record.
+	for _, spec := range []string{
+		`{"program":"streamcluster"}`,
+		`{"program":"dwt2d","scale":1.2,"label":"waves"}`,
+		`{"program":"hotspot","deadline_s":10000}`,
+	} {
+		if code, body := postJSON(t, ts.URL+"/v1/jobs", spec); code != http.StatusAccepted {
+			t.Fatalf("submit %s -> %d: %s", spec, code, body)
+		}
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/cap", `{"cap_watts":12}`); code != http.StatusOK {
+		t.Fatalf("set cap -> %d: %s", code, body)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/policy", `{"policy":"hcs"}`); code != http.StatusOK {
+		t.Fatalf("set policy -> %d: %s", code, body)
+	}
+	want := s1.Jobs()
+
+	// Hard stop: no Drain, no Close — the data dir is all that
+	// survives. Then a torn in-flight write rots the end of the log.
+	ts.Close()
+	path := filepath.Join(dir, walName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x2a, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newJournalServer(t, dir)
+	if got := s2.Cap(); got != 12 {
+		t.Errorf("recovered cap %v, want 12", got)
+	}
+	if got := s2.Policy(); got != online.PolicyHCS {
+		t.Errorf("recovered policy %v, want %v", got, online.PolicyHCS)
+	}
+	if got := s2.QueueDepth(); got != len(want) {
+		t.Errorf("queue depth %d, want %d re-enqueued jobs", got, len(want))
+	}
+	if s2.m.jlTruncated.Value() == 0 {
+		t.Error("torn tail not truncated")
+	}
+	if s2.m.jlRecovered.Value() != float64(len(want)) {
+		t.Errorf("recovered gauge %v, want %d", s2.m.jlRecovered.Value(), len(want))
+	}
+	if got := s2.Jobs(); !reflect.DeepEqual(got, want) {
+		t.Errorf("jobs not restored bit-for-bit:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The recovered queue is live: start the scheduler and the
+	// re-enqueued jobs run to completion.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s2.Start(ctx)
+	for _, j := range waitAllTerminal(t, s2, len(want), 60*time.Second) {
+		if j.State != JobDone {
+			t.Errorf("job %s state %s (%s)", j.ID, j.State, j.Error)
+		}
+	}
+	// A fourth submission resumes the ID sequence past the recovered
+	// jobs instead of reusing job-000002.
+	j4, err := s2.Submit(workload.JobSpec{Program: "lud"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j4.ID != "job-000003" {
+		t.Errorf("post-recovery ID %s, want job-000003", j4.ID)
+	}
+}
+
+// TestRestartAfterDrain is the clean-shutdown half: drain flushes the
+// journal, and a restart restores the finished jobs and clock exactly
+// with nothing re-enqueued.
+func TestRestartAfterDrain(t *testing.T) {
+	dir := t.TempDir()
+	s1 := newJournalServer(t, dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s1.Start(ctx)
+	for _, p := range []string{"streamcluster", "lud"} {
+		if _, err := s1.Submit(workload.JobSpec{Program: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitAllTerminal(t, s1, 2, 60*time.Second)
+	if err := s1.DrainAndWait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := s1.Jobs()
+
+	s2 := newJournalServer(t, dir)
+	if got := s2.Jobs(); !reflect.DeepEqual(got, want) {
+		t.Errorf("jobs not restored bit-for-bit:\n got %+v\nwant %+v", got, want)
+	}
+	if s2.QueueDepth() != 0 || s2.m.jlRecovered.Value() != 0 {
+		t.Errorf("terminal jobs re-enqueued: depth %d, recovered %v",
+			s2.QueueDepth(), s2.m.jlRecovered.Value())
+	}
+	if s2.m.jlTruncated.Value() != 0 {
+		t.Errorf("clean shutdown left %v truncated bytes", s2.m.jlTruncated.Value())
+	}
+	if s1.Clock() != s2.Clock() {
+		t.Errorf("clock %v restored as %v", s1.Clock(), s2.Clock())
+	}
+}

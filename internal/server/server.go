@@ -16,6 +16,13 @@
 // shutdown is graceful: draining stops admission, the in-flight epoch
 // completes, queued jobs are flushed through one final round, and the
 // loop exits.
+//
+// With Config.DataDir set, the daemon is durable: every acknowledged
+// state change is written ahead to the internal/journal WAL, and a
+// restart against the same directory restores the power cap, active
+// policy, scheduling clock, and job table, re-enqueuing every
+// non-terminal job. The drain path flushes and fsyncs the journal
+// before the loop exits.
 package server
 
 import (
@@ -29,6 +36,7 @@ import (
 
 	"corun/internal/apu"
 	"corun/internal/core"
+	"corun/internal/journal"
 	"corun/internal/memsys"
 	"corun/internal/model"
 	"corun/internal/online"
@@ -75,6 +83,22 @@ type Config struct {
 	// DrainTimeout bounds how long ListenAndServe waits for the drain
 	// to finish after cancellation. Defaults to 30s.
 	DrainTimeout time.Duration
+
+	// DataDir enables the durable state journal: every acknowledged
+	// state change (job admission, lifecycle transition, cap change,
+	// policy change) is logged under this directory, and a restart
+	// against the same directory restores the cap, policy, clock, and
+	// job table, re-enqueuing non-terminal jobs. Empty keeps the
+	// daemon purely in-memory (the pre-journal behaviour).
+	DataDir string
+
+	// Fsync is the journal durability policy; defaults to
+	// journal.FsyncAlways. Ignored without DataDir.
+	Fsync journal.FsyncPolicy
+
+	// SnapshotBytes overrides the journal's snapshot-plus-compaction
+	// threshold (0 = the journal's default). Ignored without DataDir.
+	SnapshotBytes int64
 }
 
 func (c *Config) withDefaults() Config {
@@ -135,15 +159,22 @@ func (p *PlanView) clone() PlanView {
 	return out
 }
 
-// Server is the daemon: job table, scheduler goroutine, metrics.
+// Server is the daemon: job table, scheduler goroutine, metrics, and
+// (when configured with a data dir) the durable state journal.
 type Server struct {
 	cfg Config
 	m   *metrics
+	jl  *journal.Journal // nil without Config.DataDir
+
+	// ctlMu serializes cap and policy changes so their journal order
+	// matches their in-memory apply order.
+	ctlMu sync.Mutex
 
 	mu         sync.Mutex
 	jobs       map[string]*Job
 	order      []string
 	queue      []*Job
+	reserve    int // submissions journaling, admitted but not yet visible
 	nextID     int
 	capW       units.Watts
 	policy     online.Policy
@@ -163,6 +194,12 @@ type Server struct {
 	stopOnce  sync.Once
 	startOnce sync.Once
 	drained   chan struct{}
+
+	// ready is closed when the scheduler loop starts, i.e. once
+	// startup recovery has handed the restored queue to it; GET
+	// /readyz reports 503 until then.
+	ready     chan struct{}
+	readyOnce sync.Once
 }
 
 // New validates the configuration and builds a server. Call Start to
@@ -197,8 +234,14 @@ func New(cfg Config) (*Server, error) {
 		wake:          make(chan struct{}, 1),
 		stop:          make(chan struct{}),
 		drained:       make(chan struct{}),
+		ready:         make(chan struct{}),
 	}
 	s.m.capWatts.Set(float64(cfg.Cap))
+	if cfg.DataDir != "" {
+		if err := s.openJournal(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -214,20 +257,26 @@ func checkCap(machine *apu.Config, cap units.Watts) error {
 
 // Submit admits one job, returning its initial record. ErrDraining and
 // ErrQueueFull report admission refusals; other errors are invalid
-// specs.
+// specs. With a journal configured, the submission record is durable
+// before the job is acknowledged or becomes visible to the scheduler
+// — an acked job can never be lost to a crash, and the log can never
+// hold a job's state transition ahead of its submission.
 func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return Job{}, err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
 		s.m.rejected.Inc()
+		s.mu.Unlock()
 		return Job{}, ErrDraining
 	}
-	if s.cfg.MaxQueue > 0 && len(s.queue) >= s.cfg.MaxQueue {
+	// reserve counts submissions whose journal write is in flight, so
+	// concurrent submitters cannot overshoot the queue bound.
+	if s.cfg.MaxQueue > 0 && len(s.queue)+s.reserve >= s.cfg.MaxQueue {
 		s.m.rejected.Inc()
+		s.mu.Unlock()
 		return Job{}, ErrQueueFull
 	}
 	id := fmt.Sprintf("job-%06d", s.nextID)
@@ -243,16 +292,33 @@ func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
 		ArrivedSimS: float64(s.simClock),
 		spec:        spec,
 	}
+	if s.jl != nil {
+		s.reserve++
+		s.mu.Unlock()
+		err := s.jl.Append(journal.Record{Type: journal.TypeJobSubmitted, Job: recordFromJob(j)})
+		s.mu.Lock()
+		s.reserve--
+		if err != nil {
+			s.m.rejected.Inc()
+			s.mu.Unlock()
+			if errors.Is(err, journal.ErrClosed) {
+				return Job{}, ErrDraining
+			}
+			return Job{}, fmt.Errorf("server: journaling submission: %w", err)
+		}
+	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.queue = append(s.queue, j)
 	s.m.submitted.Inc()
 	s.m.queueDepth.Set(float64(len(s.queue)))
+	out := *j // snapshot before the scheduler can touch the job
+	s.mu.Unlock()
 	select {
 	case s.wake <- struct{}{}:
 	default:
 	}
-	return *j, nil
+	return out, nil
 }
 
 // Job returns a snapshot of one job by ID.
@@ -292,9 +358,19 @@ func (s *Server) Cap() units.Watts {
 }
 
 // SetCap changes the power cap live; it applies from the next epoch.
+// The change is journaled before it is acknowledged (or applied), so
+// a restart restores it.
 func (s *Server) SetCap(cap units.Watts) error {
 	if err := checkCap(s.cfg.Machine, cap); err != nil {
 		return err
+	}
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	if s.jl != nil {
+		w := float64(cap)
+		if err := s.jl.Append(journal.Record{Type: journal.TypeCapChanged, CapWatts: &w}); err != nil {
+			return fmt.Errorf("server: journaling cap change: %w", err)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -312,11 +388,19 @@ func (s *Server) Policy() online.Policy {
 
 // SetPolicy changes the epoch policy live; it applies from the next
 // epoch. Model-based policies require the server to hold a
-// characterization.
+// characterization. The change is journaled before it is acknowledged
+// (or applied), so a restart restores it.
 func (s *Server) SetPolicy(p online.Policy) error {
 	probe := online.Options{Cfg: s.cfg.Machine, Mem: s.cfg.Mem, Char: s.cfg.Char, Policy: p}
 	if err := probe.Validate(); err != nil {
 		return err
+	}
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	if s.jl != nil {
+		if err := s.jl.Append(journal.Record{Type: journal.TypePolicyChanged, Policy: p.String()}); err != nil {
+			return fmt.Errorf("server: journaling policy change: %w", err)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -340,6 +424,18 @@ func (s *Server) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// Ready reports whether the scheduler loop has started — i.e.
+// startup recovery replay has finished and its re-enqueued queue has
+// been handed to the loop. GET /readyz exposes it.
+func (s *Server) Ready() bool {
+	select {
+	case <-s.ready:
+		return true
+	default:
+		return false
+	}
 }
 
 // Clock returns the node's scheduling clock (simulated seconds).
@@ -388,10 +484,18 @@ func (s *Server) markDraining() {
 // is the only writer of job state transitions past admission.
 func (s *Server) loop(ctx context.Context) {
 	defer func() {
+		// The drain contract: everything journaled during the final
+		// flush round is on stable storage before Drained closes.
+		if s.jl != nil {
+			_ = s.jl.Sync()
+		}
 		s.m.up.Set(0)
 		close(s.drained)
 	}()
 	s.m.up.Set(1)
+	// Startup recovery has handed its re-enqueued queue to this loop;
+	// the server is now ready (GET /readyz).
+	s.readyOnce.Do(func() { close(s.ready) })
 	for {
 		if ctx.Err() != nil {
 			s.markDraining()
@@ -437,9 +541,13 @@ func (s *Server) runEpoch() {
 	seed := s.rng.Int63()
 	insts := make([]*workload.Instance, len(batch))
 	var specErr error
+	var recs []journal.Record
 	for i, j := range batch {
 		j.State = JobPlanned
 		j.Epoch = epoch
+		if s.jl != nil {
+			recs = append(recs, stateRecord(j, 0))
+		}
 		inst, err := j.spec.Instance(i, j.ID)
 		if err != nil {
 			specErr = err
@@ -455,6 +563,7 @@ func (s *Server) runEpoch() {
 		s.finishEpochErr(batch, epoch, specErr)
 		return
 	}
+	s.journalAppend(recs)
 
 	opts := online.Options{
 		Cfg: s.cfg.Machine, Mem: s.cfg.Mem, Char: s.cfg.Char,
@@ -462,11 +571,14 @@ func (s *Server) runEpoch() {
 	}
 	opts.Planned = func(plan *core.Schedule, predicted units.Seconds) {
 		s.mu.Lock()
-		defer s.mu.Unlock()
+		var runRecs []journal.Record
 		for _, j := range batch {
 			j.State = JobRunning
 			if predicted > 0 {
 				j.PredictedFinishSimS = float64(clock + predicted)
+			}
+			if s.jl != nil {
+				runRecs = append(runRecs, stateRecord(j, 0))
 			}
 		}
 		run := newPlanView(epoch, policy, capW, clock, batch)
@@ -476,6 +588,8 @@ func (s *Server) runEpoch() {
 		if predicted > 0 {
 			s.m.predMakespan.Set(float64(predicted))
 		}
+		s.mu.Unlock()
+		s.journalAppend(runRecs)
 	}
 
 	start := time.Now()
@@ -488,7 +602,6 @@ func (s *Server) runEpoch() {
 
 	res := ep.Result
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	partners := partnerMap(res.Completions)
 	for _, c := range res.Completions {
 		j := batch[c.Inst.ID]
@@ -543,6 +656,16 @@ func (s *Server) runEpoch() {
 	done.EnergyJoules = res.EnergyJ
 	done.ClockEndS = float64(s.simClock)
 	s.lastPlan = &done
+
+	var doneRecs []journal.Record
+	if s.jl != nil {
+		clockEnd := float64(s.simClock)
+		for _, j := range batch {
+			doneRecs = append(doneRecs, stateRecord(j, clockEnd))
+		}
+	}
+	s.mu.Unlock()
+	s.journalAppend(doneRecs)
 }
 
 // finishEpochErr marks a failed round. The daemon stays up: one
@@ -550,10 +673,13 @@ func (s *Server) runEpoch() {
 // between admission and planning) must not take the node down.
 func (s *Server) finishEpochErr(batch []*Job, epoch int, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	var recs []journal.Record
 	for _, j := range batch {
 		j.State = JobFailed
 		j.Error = err.Error()
+		if s.jl != nil {
+			recs = append(recs, stateRecord(j, 0))
+		}
 	}
 	s.m.failed.Add(float64(len(batch)))
 	s.m.epochs.Inc()
@@ -562,6 +688,8 @@ func (s *Server) finishEpochErr(batch []*Job, epoch int, err error) {
 		s.lastPlan.State = "failed"
 		s.lastPlan.Error = err.Error()
 	}
+	s.mu.Unlock()
+	s.journalAppend(recs)
 }
 
 func newPlanView(epoch int, policy online.Policy, capW units.Watts, clock units.Seconds, batch []*Job) PlanView {

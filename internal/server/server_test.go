@@ -273,9 +273,12 @@ func TestEndToEnd(t *testing.T) {
 		t.Errorf("energy %v", v)
 	}
 
-	// healthz while healthy.
+	// Liveness and readiness while healthy and started.
 	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
 		t.Errorf("healthz -> %d", code)
+	}
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("readyz -> %d", code)
 	}
 }
 
@@ -315,8 +318,12 @@ func TestGracefulDrain(t *testing.T) {
 	if code, _ := postJSON(t, ts.URL+"/v1/jobs", `{"program":"lud"}`); code != http.StatusServiceUnavailable {
 		t.Errorf("submit while draining -> %d, want 503", code)
 	}
-	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining -> %d, want 503", code)
+	// Liveness holds while draining; readiness drops.
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz while draining -> %d, want 200", code)
+	}
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining -> %d, want 503", code)
 	}
 
 	select {
