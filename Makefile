@@ -1,8 +1,9 @@
 GO ?= go
 GOFMT ?= gofmt
 BENCHTIME ?= 1s
+FUZZTIME ?= 5s
 
-.PHONY: all build test race vet fmtcheck bench verify corund clean
+.PHONY: all build test race vet fmtcheck bench fuzz verify corund clean
 
 all: build
 
@@ -29,6 +30,15 @@ fmtcheck:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) \
 		./internal/policy/ ./internal/journal/
+
+# fuzz smoke-runs every fuzz target for FUZZTIME each (go test takes
+# one -fuzz pattern per invocation, hence one line per target).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRecord -fuzztime=$(FUZZTIME) ./internal/journal/
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/policy/
+	$(GO) test -run='^$$' -fuzz=FuzzPairTimes -fuzztime=$(FUZZTIME) ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzArbitrate -fuzztime=$(FUZZTIME) ./internal/memsys/
+	$(GO) test -run='^$$' -fuzz=FuzzJobSpecJSON -fuzztime=$(FUZZTIME) ./internal/workload/
 
 # verify is the tier-1 gate: everything must be gofmt-clean, compile,
 # vet clean, and pass the full test suite under the race detector.

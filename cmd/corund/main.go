@@ -8,6 +8,9 @@
 //	       [-machine ivybridge|kaveri] [-max-queue n] [-epoch-gap dur]
 //	       [-char file] [-save-char file] [-seed n]
 //	       [-data-dir dir] [-fsync always|interval|never]
+//	       [-journal-retries n] [-retry-base dur] [-retry-max dur]
+//	       [-breaker-threshold n] [-breaker-cooldown dur]
+//	       [-request-timeout dur] [-fault-spec spec]
 //
 // The epoch policy is any name registered in the policy registry
 // (hcs+, hcs, optimal, anneal, genetic, random, default, ...);
@@ -28,6 +31,28 @@
 // interval fsyncs on a 100ms timer, never leaves flushing to the OS.
 // Without -data-dir the daemon keeps its original in-memory
 // behaviour.
+//
+// Journal writes that fail transiently are retried with jittered
+// exponential backoff (-journal-retries attempts past the first,
+// spaced -retry-base doubling up to -retry-max). Writes that keep
+// failing trip a circuit breaker (-breaker-threshold consecutive
+// failures) into a documented degraded mode: journaling is suspended,
+// /readyz reports "degraded", and submissions and cap/policy changes
+// are shed with 503 + Retry-After until a probe write succeeds after
+// -breaker-cooldown. Acknowledged jobs are never lost — the daemon
+// refuses work it cannot make durable rather than acking it.
+// -request-timeout puts a per-request deadline on every API endpoint.
+//
+// -fault-spec arms the deterministic failpoint registry
+// (internal/fault) for resilience testing, e.g.
+//
+//	corund -data-dir /tmp/d -fault-spec 'journal/fsync=error(every=3,times=10)'
+//
+// Sites: journal/append, journal/fsync, journal/snapshot,
+// server/admit, server/epoch, policy/plan. Kinds: error(msg,...),
+// latency(dur,...), panic(...); schedule args every=N, after=N,
+// times=K, p=F, seed=S. Per-site hit and injection counts are
+// exported as corund_fault_hits_total / corund_fault_injections_total.
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs[/{id}], GET /v1/plan,
 // GET|POST /v1/cap, GET /v1/policies, POST /v1/policy, GET /v1/trace,
@@ -51,6 +76,7 @@ import (
 	"time"
 
 	"corun/internal/apu"
+	"corun/internal/fault"
 	"corun/internal/journal"
 	"corun/internal/memsys"
 	"corun/internal/model"
@@ -72,11 +98,30 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for refinement sampling and the random policy")
 	dataDir := flag.String("data-dir", "", "durable state journal directory (empty = in-memory only)")
 	fsync := flag.String("fsync", "always", "journal fsync policy: always | interval | never")
+	jlRetries := flag.Int("journal-retries", 3, "retries after a transient journal write failure (negative = no retries)")
+	retryBase := flag.Duration("retry-base", 5*time.Millisecond, "initial journal retry backoff (doubles per attempt, jittered)")
+	retryMax := flag.Duration("retry-max", 250*time.Millisecond, "journal retry backoff ceiling")
+	brkThreshold := flag.Int("breaker-threshold", 5, "consecutive journal failures that trip the breaker into degraded mode (negative = disabled)")
+	brkCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "wait before the open breaker allows a probe write")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline on the HTTP API (0 = none)")
+	faultSpec := flag.String("fault-spec", "", "arm deterministic failpoints, e.g. 'journal/fsync=error(every=3,times=5);policy/plan=latency(50ms,p=0.5,seed=7)'")
 	flag.Parse()
 
 	cfg, err := buildConfig(*machine, *policyFlag, *capW, *maxQueue, *epochGap, *seed, *charFile, *saveChar, *dataDir, *fsync)
 	if err != nil {
 		log.Fatalf("corund: %v", err)
+	}
+	cfg.JournalRetries = *jlRetries
+	cfg.RetryBase = *retryBase
+	cfg.RetryMax = *retryMax
+	cfg.BreakerThreshold = *brkThreshold
+	cfg.BreakerCooldown = *brkCooldown
+	cfg.RequestTimeout = *reqTimeout
+	if *faultSpec != "" {
+		if err := fault.Default.ArmSpec(*faultSpec); err != nil {
+			log.Fatalf("corund: -fault-spec: %v", err)
+		}
+		log.Printf("corund: failpoints armed: %s", *faultSpec)
 	}
 	s, err := server.New(*cfg)
 	if err != nil {

@@ -13,6 +13,20 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"corun/internal/fault"
+)
+
+// The journal's failpoint sites (internal/fault). SiteAppend is
+// checked at the top of Append before anything is written, so an
+// injected error there is safe to retry with a fresh Append;
+// SiteFsync is checked in place of the fsync syscall, after the
+// frames reached the log, so its failures surface as *SyncError and
+// must be retried with Sync; SiteSnapshot fails a compaction cycle.
+const (
+	SiteAppend   = "journal/append"
+	SiteFsync    = "journal/fsync"
+	SiteSnapshot = "journal/snapshot"
 )
 
 // FsyncPolicy selects when appends are forced to stable storage.
@@ -54,6 +68,12 @@ type Observer struct {
 	Fsync func()
 	// Snapshot reports one snapshot-plus-compaction cycle.
 	Snapshot func()
+	// SnapshotError reports a failed threshold-triggered compaction.
+	// Compaction is maintenance — the appended records are already
+	// governed by the fsync policy — so Append reports the failure
+	// here instead of returning it, and the next append past the
+	// threshold retries.
+	SnapshotError func(error)
 }
 
 // Options configures Open.
@@ -74,6 +94,11 @@ type Options struct {
 
 	// Observer hooks instrumentation into appends and fsyncs.
 	Observer Observer
+
+	// Faults is the failpoint registry checked at the journal's
+	// injection sites (SiteAppend, SiteFsync, SiteSnapshot); nil uses
+	// fault.Default, which is free while disarmed.
+	Faults *fault.Registry
 }
 
 // RecoverStats reports what Open found and repaired.
@@ -92,6 +117,19 @@ type RecoverStats struct {
 
 // ErrClosed is returned by operations on a closed journal.
 var ErrClosed = errors.New("journal: closed")
+
+// SyncError reports a durability failure after an append's frames
+// reached the log: the records are written (and applied to the
+// mirror) but not yet known stable. The caller must re-drive
+// durability with Sync rather than re-append — a second Append would
+// duplicate the records.
+type SyncError struct{ Err error }
+
+// Error implements error.
+func (e *SyncError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying failure.
+func (e *SyncError) Unwrap() error { return e.Err }
 
 const (
 	logName  = "wal.log"
@@ -139,6 +177,9 @@ func Open(opts Options) (*Journal, *State, RecoverStats, error) {
 	}
 	if opts.SnapshotBytes == 0 {
 		opts.SnapshotBytes = 4 << 20
+	}
+	if opts.Faults == nil {
+		opts.Faults = fault.Default
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, nil, stats, fmt.Errorf("journal: %w", err)
@@ -238,9 +279,16 @@ type snapshotFile struct {
 // — the call blocks until they are on stable storage. Concurrent
 // Appends waiting on durability share one fsync (group commit).
 // Either every record in the call is written or none is.
+//
+// Errors come in two classes: a *SyncError means the frames reached
+// the log but durability failed (retry with Sync); any other error
+// means nothing was written (retry with Append, if at all).
 func (j *Journal) Append(recs ...Record) error {
 	if len(recs) == 0 {
 		return nil
+	}
+	if err := j.opts.Faults.Hit(SiteAppend); err != nil {
+		return err
 	}
 	start := time.Now()
 	j.mu.Lock()
@@ -281,7 +329,15 @@ func (j *Journal) Append(recs ...Record) error {
 		err = j.syncTo(target)
 	}
 	if err == nil && needSnap {
-		err = j.Compact()
+		// Compaction failure does not fail the append: the records are
+		// already as durable as the fsync policy promises, and a caller
+		// retrying an "append error" would duplicate them. The failure
+		// is reported, and the next append past the threshold retries.
+		if cerr := j.Compact(); cerr != nil {
+			if obs := j.opts.Observer.SnapshotError; obs != nil {
+				obs(cerr)
+			}
+		}
 	}
 	if obs := j.opts.Observer.Append; obs != nil {
 		obs(len(recs), len(buf), time.Since(start))
@@ -322,10 +378,13 @@ func (j *Journal) syncTo(target uint64) error {
 	f := j.f
 	j.mu.Unlock()
 	if err != nil {
-		return fmt.Errorf("journal: flush: %w", err)
+		return &SyncError{Err: fmt.Errorf("journal: flush: %w", err)}
+	}
+	if err := j.opts.Faults.Hit(SiteFsync); err != nil {
+		return &SyncError{Err: err}
 	}
 	if err := f.Sync(); err != nil {
-		return fmt.Errorf("journal: fsync: %w", err)
+		return &SyncError{Err: fmt.Errorf("journal: fsync: %w", err)}
 	}
 	j.durable.Store(flushed)
 	if obs := j.opts.Observer.Fsync; obs != nil {
@@ -351,6 +410,9 @@ func (j *Journal) Compact() error {
 }
 
 func (j *Journal) compactLocked() error {
+	if err := j.opts.Faults.Hit(SiteSnapshot); err != nil {
+		return err
+	}
 	if err := j.bw.Flush(); err != nil {
 		return fmt.Errorf("journal: flush: %w", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"corun/internal/core"
+	"corun/internal/fault"
 	"corun/internal/units"
 )
 
@@ -39,6 +40,9 @@ func (e *Engine) Context() *core.Context { return e.cx }
 func (e *Engine) Plan(name string, opts Options) (*core.Schedule, error) {
 	p, err := Parse(name)
 	if err != nil {
+		return nil, err
+	}
+	if err := fault.Default.Hit(SitePlan); err != nil {
 		return nil, err
 	}
 	return p.Plan(e.cx, opts)

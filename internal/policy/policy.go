@@ -22,7 +22,15 @@ import (
 	"sync"
 
 	"corun/internal/core"
+	"corun/internal/fault"
 )
+
+// SitePlan is the failpoint (internal/fault) checked on every plan
+// request that resolves through the registry — both the one-shot Plan
+// and Engine.Plan — against the fault.Default registry. Arming it
+// injects planning failures or latency (a planning-epoch overrun)
+// into every front end at once.
+const SitePlan = "policy/plan"
 
 // Options passes per-plan knobs to a policy. The zero value is a valid
 // default for every registered policy.
@@ -178,6 +186,9 @@ func List() []Info {
 func Plan(name string, cx *core.Context, opts Options) (*core.Schedule, error) {
 	p, err := Parse(name)
 	if err != nil {
+		return nil, err
+	}
+	if err := fault.Default.Hit(SitePlan); err != nil {
 		return nil, err
 	}
 	return p.Plan(cx, opts)

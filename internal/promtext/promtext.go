@@ -383,7 +383,18 @@ func (s *Summary) write(w io.Writer) error {
 		// An empty summary exposes NaN quantiles, per convention.
 		v := math.NaN()
 		if len(recent) > 0 {
-			v = recent[int(q*float64(len(recent)-1)+0.5)]
+			// Nearest-rank: the smallest observation with at least a
+			// q fraction of the window at or below it. The previous
+			// round-to-nearest index biased quantiles upward (p50 of
+			// 1..100 read as 51).
+			idx := int(math.Ceil(q*float64(len(recent)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(recent) {
+				idx = len(recent) - 1
+			}
+			v = recent[idx]
 		}
 		if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", s.nm, formatFloat(q), formatFloat(v)); err != nil {
 			return err

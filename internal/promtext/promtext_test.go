@@ -106,7 +106,7 @@ func TestSummary(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, w := range []string{
-		`append_seconds{quantile="0.5"} 51`,
+		`append_seconds{quantile="0.5"} 50`,
 		`append_seconds{quantile="0.9"} 90`,
 		`append_seconds{quantile="0.99"} 99`,
 		"append_seconds_sum 5050",
@@ -144,6 +144,95 @@ func TestSummary(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// TestSummaryQuantileEdges pins the nearest-rank quantile on the
+// degenerate windows: empty, one sample, all-duplicate samples, two
+// samples, the q=0 and q=1 extremes, and a wrapped ring where only
+// the newest windowSize observations may count.
+func TestSummaryQuantileEdges(t *testing.T) {
+	cases := []struct {
+		name      string
+		quantiles []float64
+		observe   func(s *Summary)
+		want      map[string]string // quantile label -> formatted value
+	}{
+		{
+			name:      "empty window",
+			quantiles: []float64{0, 0.5, 1},
+			observe:   func(*Summary) {},
+			want:      map[string]string{"0": "NaN", "0.5": "NaN", "1": "NaN"},
+		},
+		{
+			name:      "single sample is every quantile",
+			quantiles: []float64{0, 0.5, 0.99, 1},
+			observe:   func(s *Summary) { s.Observe(7.5) },
+			want:      map[string]string{"0": "7.5", "0.5": "7.5", "0.99": "7.5", "1": "7.5"},
+		},
+		{
+			name:      "duplicates collapse to the one value",
+			quantiles: []float64{0.5, 0.9},
+			observe: func(s *Summary) {
+				for i := 0; i < 10; i++ {
+					s.Observe(3)
+				}
+			},
+			want: map[string]string{"0.5": "3", "0.9": "3"},
+		},
+		{
+			name:      "two samples split at the median",
+			quantiles: []float64{0.25, 0.5, 0.75, 1},
+			observe: func(s *Summary) {
+				s.Observe(10)
+				s.Observe(20)
+			},
+			// Nearest-rank: p<=0.5 is the lower sample, above it the
+			// upper — the old rounding put p50 on the upper sample.
+			want: map[string]string{"0.25": "10", "0.5": "10", "0.75": "20", "1": "20"},
+		},
+		{
+			name:      "extremes are min and max",
+			quantiles: []float64{0, 1},
+			observe: func(s *Summary) {
+				for i := 1; i <= 9; i++ {
+					s.Observe(float64(i))
+				}
+			},
+			want: map[string]string{"0": "1", "1": "9"},
+		},
+		{
+			name:      "wrapped ring keeps only the newest window",
+			quantiles: []float64{0, 0.5, 1},
+			observe: func(s *Summary) {
+				// One windowful of 100s, then a windowful of 5s: the
+				// 100s must be fully evicted.
+				for i := 0; i < summaryWindow; i++ {
+					s.Observe(100)
+				}
+				for i := 0; i < summaryWindow; i++ {
+					s.Observe(5)
+				}
+			},
+			want: map[string]string{"0": "5", "0.5": "5", "1": "5"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry()
+			s := r.NewSummary("edge_seconds", "Edge case.", tc.quantiles)
+			tc.observe(s)
+			var buf strings.Builder
+			if err := r.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			for q, v := range tc.want {
+				line := `edge_seconds{quantile="` + q + `"} ` + v + "\n"
+				if !strings.Contains(buf.String(), line) {
+					t.Errorf("missing %q in:\n%s", strings.TrimSpace(line), buf.String())
+				}
+			}
+		})
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"corun/internal/online"
 	"corun/internal/policy"
@@ -25,8 +26,10 @@ import (
 //	GET  /v1/trace     epoch trace (CSV, or JSON with ?format=json)
 //	GET  /healthz      liveness: 200 while the process runs
 //	GET  /readyz       readiness: 200 once the scheduler loop has the
-//	                   recovered queue; 503 while draining or while
-//	                   startup recovery replay has not finished
+//	                   recovered queue; 503 while draining, while
+//	                   startup recovery replay has not finished, or
+//	                   while the journal breaker holds the daemon in
+//	                   degraded mode
 //	GET  /metrics      Prometheus text exposition
 //
 // Liveness and readiness are split so an orchestrator never restarts
@@ -34,6 +37,11 @@ import (
 // while /readyz gates traffic — it is 503 both during startup
 // (journal recovery replay has not yet handed the restored queue to
 // the scheduler loop) and during a graceful drain.
+//
+// When Config.RequestTimeout is set, every endpoint runs under a
+// per-request deadline: a handler that overruns it gets its request
+// context canceled and the client a 503, so one stuck request cannot
+// pin a connection forever.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -48,7 +56,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /metrics", s.m.reg.Handler())
+	if s.cfg.RequestTimeout > 0 {
+		return http.TimeoutHandler(mux, s.cfg.RequestTimeout,
+			`{"error": "server: request deadline exceeded"}`)
+	}
 	return mux
+}
+
+// shed rejects a request with 503 + Retry-After: the daemon is alive
+// but cannot durably accept the change right now (journal degraded or
+// a write failed past its retries). Retry-After tells well-behaved
+// clients when the breaker's next probe is due.
+func (s *Server) shedErr(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeErr(w, http.StatusServiceUnavailable, err)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -74,8 +95,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDraining):
 		writeErr(w, http.StatusServiceUnavailable, err)
 		return
+	case errors.Is(err, ErrDegraded), errors.Is(err, ErrJournal):
+		// The job was NOT acknowledged: its durability could not be
+		// established, so the client must retry. (A failed fsync may
+		// still have left frames in the log — restart recovery can
+		// surface such a job, which is the at-least-once side of the
+		// "an ack is never lost" guarantee.)
+		s.shedErr(w, err)
+		return
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeErr(w, http.StatusTooManyRequests, err)
 		return
 	case err != nil:
@@ -124,6 +153,10 @@ func (s *Server) handleSetCap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.SetCap(units.Watts(*req.CapWatts)); err != nil {
+		if errors.Is(err, ErrDegraded) || errors.Is(err, ErrJournal) {
+			s.shedErr(w, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -155,6 +188,10 @@ func (s *Server) handleSetPolicy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.SetPolicy(p); err != nil {
+		if errors.Is(err, ErrDegraded) || errors.Is(err, ErrJournal) {
+			s.shedErr(w, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -182,6 +219,14 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	switch {
 	case s.Draining():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.Degraded():
+		// Alive but shedding: the journal breaker is open (or probing),
+		// so new work cannot be durably acknowledged. Reported on
+		// readiness so orchestrators route traffic elsewhere without
+		// restarting the pod — recovery is automatic once a probe
+		// write succeeds.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
 	case !s.Ready():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
 	default:

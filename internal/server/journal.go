@@ -1,11 +1,13 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"time"
 
+	"corun/internal/fault"
 	"corun/internal/journal"
 	"corun/internal/online"
 	"corun/internal/units"
@@ -29,9 +31,11 @@ func (s *Server) openJournal() error {
 				s.m.jlBytes.Add(float64(bytes))
 				s.m.jlAppendLatency.Observe(latency.Seconds())
 			},
-			Fsync:    func() { s.m.jlFsyncs.Inc() },
-			Snapshot: func() { s.m.jlSnapshots.Inc() },
+			Fsync:         func() { s.m.jlFsyncs.Inc() },
+			Snapshot:      func() { s.m.jlSnapshots.Inc() },
+			SnapshotError: func(error) { s.m.jlSnapErrors.Inc() },
 		},
+		Faults: s.cfg.Faults,
 	})
 	if err != nil {
 		return err
@@ -106,16 +110,73 @@ func (s *Server) openJournal() error {
 	return nil
 }
 
+// appendDurable writes records through the journal with the daemon's
+// failure policy wrapped around it: the circuit breaker gates the
+// attempt (ErrDegraded when open), transient errors are retried on
+// the jittered exponential backoff, and the final outcome feeds the
+// breaker. A *journal.SyncError flips the retry from re-appending to
+// re-driving durability with Sync — the frames are already in the
+// log, and a second Append would duplicate them.
+func (s *Server) appendDurable(recs ...journal.Record) error {
+	if s.jl == nil || len(recs) == 0 {
+		return nil
+	}
+	if s.brk != nil && !s.brk.Allow() {
+		return ErrDegraded
+	}
+	appended := false
+	err := s.bo.Run(func(attempt int) error {
+		if attempt > 0 {
+			s.m.jlRetries.Inc()
+		}
+		var err error
+		if appended {
+			err = s.jl.Sync()
+		} else {
+			err = s.jl.Append(recs...)
+		}
+		if err == nil {
+			return nil
+		}
+		var se *journal.SyncError
+		if errors.As(err, &se) {
+			appended = true
+		}
+		if errors.Is(err, journal.ErrClosed) {
+			return fault.Permanent(err)
+		}
+		return err
+	})
+	if err != nil {
+		// A closed journal is the drain path, not a fault.
+		if s.brk != nil && !errors.Is(err, journal.ErrClosed) {
+			s.brk.Failure()
+		}
+		return err
+	}
+	if s.brk != nil {
+		s.brk.Success()
+	}
+	return nil
+}
+
 // journalAppend best-effort journals job lifecycle records from the
-// scheduler goroutine. An append failure must not take the node down
-// mid-epoch, so it is counted (corund_journal_errors_total) and the
-// epoch proceeds; the records' durability is lost.
+// scheduler goroutine. A failure must not take the node down
+// mid-epoch, so the records are dropped and counted — as an error
+// (corund_journal_errors_total) when the write failed past its
+// retries, or silently suspended while the breaker holds the daemon
+// degraded. Dropped lifecycle records cost nothing but work: on a
+// restart the affected jobs replay as non-terminal and re-run, so an
+// acknowledged job is still never lost.
 func (s *Server) journalAppend(recs []journal.Record) {
 	if s.jl == nil || len(recs) == 0 {
 		return
 	}
-	if err := s.jl.Append(recs...); err != nil {
-		s.m.jlErrors.Inc()
+	if err := s.appendDurable(recs...); err != nil {
+		if !errors.Is(err, ErrDegraded) && !errors.Is(err, journal.ErrClosed) {
+			s.m.jlErrors.Inc()
+		}
+		s.m.jlDropped.Add(float64(len(recs)))
 	}
 }
 

@@ -36,6 +36,18 @@ type metrics struct {
 	jlRecovered     *promtext.Gauge
 	jlTruncated     *promtext.Gauge
 	jlAppendLatency *promtext.Summary
+
+	// Failure-handling instrumentation: journal write retries and
+	// drops, the circuit breaker, load shedding, and the failpoint
+	// registry's per-site counters.
+	jlRetries     *promtext.Counter
+	jlDropped     *promtext.Counter
+	jlSnapErrors  *promtext.Counter
+	brkState      *promtext.Gauge
+	brkTrips      *promtext.Counter
+	shed          *promtext.Counter
+	faultHits     *promtext.CounterVec
+	faultInjected *promtext.CounterVec
 }
 
 func newMetrics() *metrics {
@@ -90,6 +102,22 @@ func newMetrics() *metrics {
 		jlAppendLatency: reg.NewSummary("corund_journal_append_latency_seconds",
 			"Latency of journal appends, including any group-commit fsync wait.",
 			[]float64{0.5, 0.9, 0.99}),
+		jlRetries: reg.NewCounter("corund_journal_retries_total",
+			"Journal write retries (backoff attempts past the first)."),
+		jlDropped: reg.NewCounter("corund_journal_dropped_records_total",
+			"Lifecycle records dropped because journaling failed past its retries or was suspended by the breaker."),
+		jlSnapErrors: reg.NewCounter("corund_journal_snapshot_errors_total",
+			"Failed snapshot-plus-compaction cycles (retried at the next threshold crossing)."),
+		brkState: reg.NewGauge("corund_breaker_state",
+			"Journal circuit breaker state: 0 closed, 1 half-open, 2 open."),
+		brkTrips: reg.NewCounter("corund_breaker_trips_total",
+			"Times the journal circuit breaker tripped open."),
+		shed: reg.NewCounter("corund_jobs_shed_total",
+			"Submissions shed with 503 + Retry-After while the daemon was degraded."),
+		faultHits: reg.NewCounterVec("corund_fault_hits_total",
+			"Failpoint hits at armed sites, by site.", "site"),
+		faultInjected: reg.NewCounterVec("corund_fault_injections_total",
+			"Failpoint hits on which a fault was injected, by site.", "site"),
 	}
 	// Pre-register every policy's series so dashboards see zeros
 	// instead of absent series before the first epoch.

@@ -32,10 +32,12 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"corun/internal/apu"
 	"corun/internal/core"
+	"corun/internal/fault"
 	"corun/internal/journal"
 	"corun/internal/memsys"
 	"corun/internal/model"
@@ -46,10 +48,32 @@ import (
 	"corun/internal/workload"
 )
 
-// Admission errors. Handlers map these to 503 and 429.
+// Admission errors. Handlers map ErrDraining, ErrDegraded, and
+// ErrJournal to 503 (the latter two with a Retry-After hint) and
+// ErrQueueFull to 429.
 var (
 	ErrDraining  = errors.New("server: draining, not accepting jobs")
 	ErrQueueFull = errors.New("server: job queue full")
+
+	// ErrDegraded reports that the journal circuit breaker is open:
+	// durability is unavailable, so the daemon sheds work that would
+	// need an un-journaled acknowledgement rather than lie about it.
+	ErrDegraded = errors.New("server: degraded, journaling suspended")
+
+	// ErrJournal wraps a journal write that still failed after the
+	// bounded retries; nothing was acknowledged.
+	ErrJournal = errors.New("server: journal write failed")
+)
+
+// The daemon's failpoint sites (internal/fault), in addition to the
+// journal's (journal.Site*) and the policy engine's (policy.SitePlan).
+// SiteAdmit fires inside Submit before a job is admitted; SiteEpoch
+// fires at the top of each scheduling round, where an error fails the
+// batch (not the daemon) and a latency rule simulates a planning
+// overrun.
+const (
+	SiteAdmit = "server/admit"
+	SiteEpoch = "server/epoch"
 )
 
 // Config configures a daemon instance.
@@ -99,6 +123,42 @@ type Config struct {
 	// SnapshotBytes overrides the journal's snapshot-plus-compaction
 	// threshold (0 = the journal's default). Ignored without DataDir.
 	SnapshotBytes int64
+
+	// Faults is the failpoint registry checked at the daemon's
+	// injection sites (SiteAdmit, SiteEpoch, and the journal's sites);
+	// nil uses fault.Default, which costs one atomic load while
+	// disarmed. Hits and injections are exported as
+	// corund_fault_hits_total / corund_fault_injections_total.
+	Faults *fault.Registry
+
+	// JournalRetries bounds how many times a failed journal write is
+	// retried (with jittered exponential backoff) before the failure
+	// surfaces and counts against the circuit breaker. 0 means the
+	// default of 3; negative disables retries.
+	JournalRetries int
+
+	// RetryBase and RetryMax shape the retry backoff: delays grow
+	// exponentially from RetryBase (default 5ms) toward RetryMax
+	// (default 250ms) with ±20% seeded jitter.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+
+	// BreakerThreshold is how many consecutive journal failures (each
+	// already past its retries) trip the circuit breaker into degraded
+	// mode: journaling is suspended, submissions and control changes
+	// get 503 + Retry-After, and /readyz reports "degraded" until a
+	// half-open probe succeeds. 0 means the default of 5; negative
+	// disables the breaker.
+	BreakerThreshold int
+
+	// BreakerCooldown is how long the breaker sheds before allowing a
+	// probe; default 2s.
+	BreakerCooldown time.Duration
+
+	// RequestTimeout is the per-request deadline on the HTTP API:
+	// Handler wraps the mux so a request that exceeds it gets 503.
+	// 0 disables the deadline.
+	RequestTimeout time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -117,6 +177,24 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.DrainTimeout == 0 {
 		out.DrainTimeout = 30 * time.Second
+	}
+	if out.Faults == nil {
+		out.Faults = fault.Default
+	}
+	if out.JournalRetries == 0 {
+		out.JournalRetries = 3
+	}
+	if out.RetryBase == 0 {
+		out.RetryBase = 5 * time.Millisecond
+	}
+	if out.RetryMax == 0 {
+		out.RetryMax = 250 * time.Millisecond
+	}
+	if out.BreakerThreshold == 0 {
+		out.BreakerThreshold = 5
+	}
+	if out.BreakerCooldown == 0 {
+		out.BreakerCooldown = 2 * time.Second
 	}
 	return out
 }
@@ -162,9 +240,17 @@ func (p *PlanView) clone() PlanView {
 // Server is the daemon: job table, scheduler goroutine, metrics, and
 // (when configured with a data dir) the durable state journal.
 type Server struct {
-	cfg Config
-	m   *metrics
-	jl  *journal.Journal // nil without Config.DataDir
+	cfg    Config
+	m      *metrics
+	jl     *journal.Journal // nil without Config.DataDir
+	faults *fault.Registry
+	brk    *fault.Breaker // nil when Config.BreakerThreshold < 0
+	bo     fault.Backoff  // journal write retry schedule
+
+	// lastEpochWall is the wall-clock nanoseconds of the most recent
+	// epoch's planning+execution, feeding the Retry-After hint on
+	// load-shedding responses.
+	lastEpochWall atomic.Int64
 
 	// ctlMu serializes cap and policy changes so their journal order
 	// matches their in-memory apply order.
@@ -237,6 +323,27 @@ func New(cfg Config) (*Server, error) {
 		ready:         make(chan struct{}),
 	}
 	s.m.capWatts.Set(float64(cfg.Cap))
+	s.faults = cfg.Faults
+	s.faults.Subscribe(func(ev fault.Event) {
+		s.m.faultHits.Inc(ev.Site)
+		if ev.Injected {
+			s.m.faultInjected.Inc(ev.Site)
+		}
+	})
+	s.bo = fault.Backoff{
+		Base: cfg.RetryBase, Max: cfg.RetryMax,
+		Jitter: 0.2, Seed: cfg.Seed,
+		Attempts: 1 + max(0, cfg.JournalRetries),
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.brk = fault.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		s.brk.OnChange(func(_, to fault.BreakerState) {
+			s.m.brkState.Set(float64(to))
+			if to == fault.BreakerOpen {
+				s.m.brkTrips.Inc()
+			}
+		})
+	}
 	if cfg.DataDir != "" {
 		if err := s.openJournal(); err != nil {
 			return nil, err
@@ -264,6 +371,10 @@ func checkCap(machine *apu.Config, cap units.Watts) error {
 func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	if err := s.faults.Hit(SiteAdmit); err != nil {
+		s.m.rejected.Inc()
 		return Job{}, err
 	}
 	s.mu.Lock()
@@ -295,16 +406,20 @@ func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
 	if s.jl != nil {
 		s.reserve++
 		s.mu.Unlock()
-		err := s.jl.Append(journal.Record{Type: journal.TypeJobSubmitted, Job: recordFromJob(j)})
+		err := s.appendDurable(journal.Record{Type: journal.TypeJobSubmitted, Job: recordFromJob(j)})
 		s.mu.Lock()
 		s.reserve--
 		if err != nil {
 			s.m.rejected.Inc()
 			s.mu.Unlock()
-			if errors.Is(err, journal.ErrClosed) {
+			switch {
+			case errors.Is(err, journal.ErrClosed):
 				return Job{}, ErrDraining
+			case errors.Is(err, ErrDegraded):
+				s.m.shed.Inc()
+				return Job{}, ErrDegraded
 			}
-			return Job{}, fmt.Errorf("server: journaling submission: %w", err)
+			return Job{}, fmt.Errorf("%w: journaling submission: %v", ErrJournal, err)
 		}
 	}
 	s.jobs[id] = j
@@ -368,8 +483,11 @@ func (s *Server) SetCap(cap units.Watts) error {
 	defer s.ctlMu.Unlock()
 	if s.jl != nil {
 		w := float64(cap)
-		if err := s.jl.Append(journal.Record{Type: journal.TypeCapChanged, CapWatts: &w}); err != nil {
-			return fmt.Errorf("server: journaling cap change: %w", err)
+		if err := s.appendDurable(journal.Record{Type: journal.TypeCapChanged, CapWatts: &w}); err != nil {
+			if errors.Is(err, ErrDegraded) {
+				return err
+			}
+			return fmt.Errorf("%w: journaling cap change: %v", ErrJournal, err)
 		}
 	}
 	s.mu.Lock()
@@ -398,8 +516,11 @@ func (s *Server) SetPolicy(p online.Policy) error {
 	s.ctlMu.Lock()
 	defer s.ctlMu.Unlock()
 	if s.jl != nil {
-		if err := s.jl.Append(journal.Record{Type: journal.TypePolicyChanged, Policy: p.String()}); err != nil {
-			return fmt.Errorf("server: journaling policy change: %w", err)
+		if err := s.appendDurable(journal.Record{Type: journal.TypePolicyChanged, Policy: p.String()}); err != nil {
+			if errors.Is(err, ErrDegraded) {
+				return err
+			}
+			return fmt.Errorf("%w: journaling policy change: %v", ErrJournal, err)
 		}
 	}
 	s.mu.Lock()
@@ -424,6 +545,39 @@ func (s *Server) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// Degraded reports whether the journal circuit breaker is away from
+// closed: durability is suspect, submissions and control changes are
+// shed, and /readyz reports "degraded". The daemon leaves this state
+// through a successful half-open probe once the cooldown elapses —
+// i.e. automatically, as soon as the journal works again.
+func (s *Server) Degraded() bool {
+	return s.brk != nil && s.brk.State() != fault.BreakerClosed
+}
+
+// retryAfterSeconds is the Retry-After hint on load-shedding
+// responses: the breaker cooldown remainder while degraded, otherwise
+// roughly two epochs of the most recent planning+execution latency.
+func (s *Server) retryAfterSeconds() int {
+	if s.brk != nil {
+		if until := s.brk.OpenUntil(); !until.IsZero() {
+			if d := time.Until(until); d > 0 {
+				return 1 + int(d/time.Second)
+			}
+		}
+	}
+	if ns := s.lastEpochWall.Load(); ns > 0 {
+		secs := int((2*time.Duration(ns) + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		if secs > 30 {
+			secs = 30
+		}
+		return secs
+	}
+	return 1
 }
 
 // Ready reports whether the scheduler loop has started — i.e.
@@ -565,6 +719,14 @@ func (s *Server) runEpoch() {
 	}
 	s.journalAppend(recs)
 
+	// The epoch failpoint: an injected error fails this batch (the
+	// daemon stays up, exactly like an unschedulable cap), and a
+	// latency rule models a planning-epoch overrun.
+	if err := s.faults.Hit(SiteEpoch); err != nil {
+		s.finishEpochErr(batch, epoch, err)
+		return
+	}
+
 	opts := online.Options{
 		Cfg: s.cfg.Machine, Mem: s.cfg.Mem, Char: s.cfg.Char,
 		Cap: capW, Policy: policy, Seed: seed,
@@ -595,6 +757,7 @@ func (s *Server) runEpoch() {
 	start := time.Now()
 	ep, err := online.PlanEpoch(opts, insts, seed)
 	s.m.epochLatency.Observe(time.Since(start).Seconds())
+	s.lastEpochWall.Store(int64(time.Since(start)))
 	if err != nil {
 		s.finishEpochErr(batch, epoch, err)
 		return

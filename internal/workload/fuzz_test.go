@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzJobSpecJSON throws arbitrary bytes at the daemon's job-submission
+// decoder. DecodeJobSpec sits directly behind POST /v1/jobs, so the
+// contract under fuzz is: never panic, never accept a spec that fails
+// its own validation, and never reject a spec that round-trips from an
+// accepted one.
+func FuzzJobSpecJSON(f *testing.F) {
+	// Valid specs, one per field shape.
+	f.Add([]byte(`{"program":"cfd"}`))
+	f.Add([]byte(`{"program":"lud","scale":1.5,"label":"nightly","deadline_s":120}`))
+	f.Add([]byte(`{"program":"  hotspot  "}`)) // normalized whitespace
+	// Truncated and malformed JSON.
+	f.Add([]byte(`{"program":"cfd"`))
+	f.Add([]byte(`{"program":`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	// Type confusion: wrong JSON types for each field.
+	f.Add([]byte(`{"program":42}`))
+	f.Add([]byte(`{"program":"cfd","scale":"big"}`))
+	f.Add([]byte(`{"program":"cfd","deadline_s":[1]}`))
+	f.Add([]byte(`{"program":{"name":"cfd"}}`))
+	// Semantically invalid values and unknown fields.
+	f.Add([]byte(`{"program":"nosuch"}`))
+	f.Add([]byte(`{"program":"cfd","scale":-1}`))
+	f.Add([]byte(`{"program":"cfd","deadline_s":-5}`))
+	f.Add([]byte(`{"program":"cfd","dead_line_s":9}`))
+	f.Add([]byte(`{"program":"cfd","scale":1e308}`))
+	f.Add([]byte(`{"program":"cfd"} trailing`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeJobSpec(strings.NewReader(string(data)))
+		if err != nil {
+			if spec != (JobSpec{}) {
+				t.Fatalf("error %v returned alongside non-zero spec %+v", err, spec)
+			}
+			return
+		}
+		// Accepted specs are normalized and pass validation as-is.
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec %+v fails validation: %v", spec, err)
+		}
+		if spec.Program != strings.TrimSpace(spec.Program) {
+			t.Fatalf("accepted spec not normalized: %q", spec.Program)
+		}
+		if spec.Scale <= 0 || math.IsNaN(spec.Scale) || math.IsInf(spec.Scale, 0) {
+			t.Fatalf("accepted spec has unusable scale %v", spec.Scale)
+		}
+		if spec.DeadlineS < 0 || math.IsNaN(spec.DeadlineS) {
+			t.Fatalf("accepted spec has unusable deadline %v", spec.DeadlineS)
+		}
+		// An accepted spec materializes into an instance.
+		if _, err := spec.Instance(0, "job-000000"); err != nil {
+			t.Fatalf("accepted spec %+v cannot instantiate: %v", spec, err)
+		}
+		// Round trip: re-encoding an accepted spec is accepted again
+		// and decodes to the same value.
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("re-encoding accepted spec %+v: %v", spec, err)
+		}
+		again, err := DecodeJobSpec(strings.NewReader(string(b)))
+		if err != nil {
+			t.Fatalf("round trip of %s rejected: %v", b, err)
+		}
+		if again != spec {
+			t.Fatalf("round trip changed the spec: %+v -> %+v", spec, again)
+		}
+	})
+}
