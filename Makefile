@@ -2,8 +2,10 @@ GO ?= go
 GOFMT ?= gofmt
 BENCHTIME ?= 1s
 FUZZTIME ?= 5s
+LOADTEST_DURATION ?= 5s
+LOADTEST_WARMUP ?= 1s
 
-.PHONY: all build test race vet fmtcheck bench fuzz verify corund clean
+.PHONY: all build test race vet fmtcheck bench fuzz loadtest verify corund clean
 
 all: build
 
@@ -39,6 +41,16 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPairTimes -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzArbitrate -fuzztime=$(FUZZTIME) ./internal/memsys/
 	$(GO) test -run='^$$' -fuzz=FuzzJobSpecJSON -fuzztime=$(FUZZTIME) ./internal/workload/
+
+# loadtest drives a self-hosted corund end-to-end with cmd/corunbench
+# (closed loop, journaling to a temp dir) and writes the canonical
+# BENCH_5.json report: throughput, per-endpoint latency quantiles,
+# server-side counter deltas, paired journal micro-benchmarks, and the
+# committed optimization evidence from bench/optimizations_5.json.
+loadtest:
+	$(GO) run ./cmd/corunbench -mode closed -concurrency 4 \
+		-duration $(LOADTEST_DURATION) -warmup $(LOADTEST_WARMUP) \
+		-microbench -notes bench/optimizations_5.json -out BENCH_5.json
 
 # verify is the tier-1 gate: everything must be gofmt-clean, compile,
 # vet clean, and pass the full test suite under the race detector.

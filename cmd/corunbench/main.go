@@ -1,0 +1,239 @@
+// Command corunbench is the load-test harness for the corund daemon.
+// It drives a corund instance end-to-end over HTTP — open-loop (fixed
+// arrival rate) or closed-loop (fixed concurrency) — with a
+// configurable job mix drawn from the calibrated benchmark programs,
+// a discarded warmup window, and per-endpoint latency histograms, and
+// emits a machine-readable JSON report (the repo's BENCH_5.json bench
+// trajectory).
+//
+// Usage:
+//
+//	corunbench [-url http://host:8080] [-mode open|closed]
+//	           [-rate rps] [-concurrency n]
+//	           [-duration dur] [-warmup dur]
+//	           [-mix all|prog[=w],...] [-read-fraction f] [-seed n]
+//	           [-microbench] [-notes file] [-out file]
+//	           [-policy name] [-cap watts] [-max-queue n]
+//	           [-epoch-gap dur] [-fsync pol] [-data-dir dir] [-in-memory]
+//
+// With -url it targets a running daemon. Without it, corunbench
+// launches an in-process corund on a loopback port — journaling to a
+// temporary data dir (so journal fsync counts are part of the report)
+// unless -in-memory is set — drives it, and drains it cleanly; the
+// flags after -policy configure that instance.
+//
+// -microbench pairs the HTTP run with in-process testing.Benchmark
+// runs of the journal append hot path (ns/op, B/op, allocs/op).
+// -notes merges a committed optimization-evidence JSON file into the
+// report, preserving before/after numbers measured against code that
+// no longer exists. `make loadtest` wires the standard invocation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"corun/internal/apu"
+	"corun/internal/journal"
+	"corun/internal/loadgen"
+	"corun/internal/memsys"
+	"corun/internal/model"
+	"corun/internal/online"
+	"corun/internal/policy"
+	"corun/internal/server"
+	"corun/internal/units"
+)
+
+func main() {
+	log.SetPrefix("corunbench: ")
+	log.SetFlags(0)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("corunbench", flag.ContinueOnError)
+	url := fs.String("url", "", "target corund base URL (empty = launch an in-process instance)")
+	mode := fs.String("mode", "closed", "load mode: open (fixed arrival rate) | closed (fixed concurrency)")
+	rate := fs.Float64("rate", 100, "open-loop arrival rate in requests/second")
+	conc := fs.Int("concurrency", 4, "closed-loop client count")
+	duration := fs.Duration("duration", 10*time.Second, "measurement window")
+	warmup := fs.Duration("warmup", 2*time.Second, "discarded warmup window")
+	mixFlag := fs.String("mix", "all", "job mix: all, or prog[=weight],... from the calibrated benchmarks")
+	readFrac := fs.Float64("read-fraction", 0.5, "fraction of operations that are reads (plan/status)")
+	seed := fs.Int64("seed", 1, "seed for program choice, scales, and interleaving")
+	micro := fs.Bool("microbench", false, "pair the run with in-process journal micro-benchmarks")
+	notes := fs.String("notes", "", "merge this optimization-evidence JSON file into the report")
+	out := fs.String("out", "", "write the JSON report here (empty = stdout)")
+
+	policyFlag := fs.String("policy", "hcs+", "self-hosted instance: epoch policy ("+strings.Join(policy.Names(), " | ")+")")
+	capW := fs.Float64("cap", 15, "self-hosted instance: package power cap in watts")
+	maxQueue := fs.Int("max-queue", 4096, "self-hosted instance: admission queue bound")
+	epochGap := fs.Duration("epoch-gap", 5*time.Millisecond, "self-hosted instance: epoch batching window")
+	fsyncFlag := fs.String("fsync", "always", "self-hosted instance: journal fsync policy")
+	dataDir := fs.String("data-dir", "", "self-hosted instance: journal dir (empty = fresh temp dir)")
+	inMemory := fs.Bool("in-memory", false, "self-hosted instance: disable journaling entirely")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+
+	baseURL := *url
+	if baseURL == "" {
+		shutdown, addr, err := selfHost(*policyFlag, *capW, *maxQueue, *epochGap, *fsyncFlag, *dataDir, *inMemory, *seed)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		baseURL = addr
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:      baseURL,
+		Mode:         loadgen.Mode(*mode),
+		Rate:         *rate,
+		Concurrency:  *conc,
+		Warmup:       *warmup,
+		Duration:     *duration,
+		Mix:          mix,
+		ReadFraction: *readFrac,
+		Seed:         *seed,
+	}
+	log.Printf("driving %s: mode=%s duration=%v warmup=%v", baseURL, *mode, *duration, *warmup)
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if *micro {
+		log.Printf("running paired micro-benchmarks")
+		mb, err := loadgen.Microbench()
+		if err != nil {
+			return err
+		}
+		rep.Microbench = mb
+	}
+	if *notes != "" {
+		if err := rep.MergeNotes(*notes); err != nil {
+			return err
+		}
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.Write(w); err != nil {
+		return err
+	}
+	log.Printf("throughput %.1f req/s (%.1f accepted submits/s), %d accepted / %d rejected / %d errors",
+		rep.ThroughputRPS, rep.SubmitThroughputRPS, rep.Accepted, rep.Rejected, rep.Errors)
+	return nil
+}
+
+// selfHost launches an in-process corund on a loopback port and
+// returns its base URL plus a clean-drain shutdown.
+func selfHost(policyName string, capW float64, maxQueue int, epochGap time.Duration, fsyncName, dataDir string, inMemory bool, seed int64) (func(), string, error) {
+	pol, err := online.ParsePolicy(policyName)
+	if err != nil {
+		return nil, "", err
+	}
+	fsyncPol, err := journal.ParseFsyncPolicy(fsyncName)
+	if err != nil {
+		return nil, "", err
+	}
+	var cleanupDir func()
+	switch {
+	case inMemory:
+		dataDir = ""
+	case dataDir == "":
+		tmp, err := os.MkdirTemp("", "corunbench-data-*")
+		if err != nil {
+			return nil, "", err
+		}
+		dataDir = tmp
+		cleanupDir = func() { os.RemoveAll(tmp) }
+	}
+
+	mcfg := apu.DefaultConfig()
+	mem := memsys.Default()
+	start := time.Now()
+	char, err := model.Characterize(model.CharacterizeOptions{Cfg: mcfg, Mem: mem})
+	if err != nil {
+		return nil, "", err
+	}
+	log.Printf("characterized the degradation space in %v", time.Since(start).Round(time.Millisecond))
+
+	s, err := server.New(server.Config{
+		Machine:  mcfg,
+		Mem:      mem,
+		Char:     char,
+		Cap:      units.Watts(capW),
+		Policy:   pol,
+		Seed:     seed,
+		MaxQueue: maxQueue,
+		EpochGap: epochGap,
+		DataDir:  dataDir,
+		Fsync:    fsyncPol,
+	})
+	if err != nil {
+		if cleanupDir != nil {
+			cleanupDir()
+		}
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		if cleanupDir != nil {
+			cleanupDir()
+		}
+		return nil, "", err
+	}
+	s.Start(context.Background())
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	durability := "in-memory"
+	if dataDir != "" {
+		durability = fmt.Sprintf("journal %s, fsync %s", dataDir, fsyncPol)
+	}
+	log.Printf("self-hosted corund on %s (policy %s, cap %gW, %s)", ln.Addr(), pol, capW, durability)
+
+	shutdown := func() {
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.DrainAndWait(drainCtx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+		shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		srv.Shutdown(shutCtx)
+		if cleanupDir != nil {
+			cleanupDir()
+		}
+	}
+	return shutdown, "http://" + ln.Addr().String(), nil
+}

@@ -148,6 +148,7 @@ type Journal struct {
 	seq      uint64 // last assigned sequence number
 	logBytes int64  // log size including still-buffered bytes
 	state    *State // replay mirror, source of snapshots
+	encBuf   []byte // frame-encoding scratch, reused across Appends
 	closed   bool
 
 	syncMu  sync.Mutex    // serializes fsync and compaction
@@ -297,9 +298,11 @@ func (j *Journal) Append(recs ...Record) error {
 		return ErrClosed
 	}
 	// Encode every frame before writing any, so a bad record cannot
-	// leave a partial batch in the log.
+	// leave a partial batch in the log. The scratch buffer lives on the
+	// journal and is reused across Appends — encoding is under j.mu, so
+	// no two Appends can hold it at once.
 	startSeq := j.seq
-	buf := make([]byte, 0, 256*len(recs))
+	buf := j.encBuf[:0]
 	var err error
 	for i := range recs {
 		j.seq++
@@ -307,10 +310,12 @@ func (j *Journal) Append(recs ...Record) error {
 		buf, err = AppendRecord(buf, recs[i])
 		if err != nil {
 			j.seq = startSeq
+			j.encBuf = buf
 			j.mu.Unlock()
 			return err
 		}
 	}
+	j.encBuf = buf
 	if _, err := j.bw.Write(buf); err != nil {
 		j.mu.Unlock()
 		return fmt.Errorf("journal: write: %w", err)

@@ -1,0 +1,96 @@
+package journal
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"corun/internal/fault"
+)
+
+// openInterval opens a journal with the interval-fsync loop running on
+// a short timer.
+func openInterval(t *testing.T, faults *fault.Registry) *Journal {
+	t.Helper()
+	j, _, _, err := Open(Options{
+		Dir:           t.TempDir(),
+		Fsync:         FsyncInterval,
+		FsyncInterval: time.Millisecond,
+		Faults:        faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// waitClosed asserts ch closes within a timeout.
+func waitClosed(t *testing.T, ch <-chan struct{}, what string) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s not closed", what)
+	}
+}
+
+// TestIntervalLoopStopsOnClose pins the fsync-timer lifecycle: Close
+// must stop the interval goroutine (and its ticker) even while the
+// loop is actively syncing.
+func TestIntervalLoopStopsOnClose(t *testing.T) {
+	j := openInterval(t, nil)
+	if err := j.Append(jobRecord("job-000001")); err != nil {
+		t.Fatal(err)
+	}
+	// Let the timer fire at least once so Close races a live loop.
+	time.Sleep(5 * time.Millisecond)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitClosed(t, j.intervalDone, "interval loop done channel")
+	// Close is idempotent and must not hang on the already-stopped loop.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntervalLoopStopsWhenFsyncFails is the degraded-mode shape: the
+// interval syncer keeps hitting fsync failures (as it would while the
+// server's breaker is open), and Close must still stop it instead of
+// leaking the goroutine and ticker. Goroutine-count stability across
+// many journal lifetimes is the leak check.
+func TestIntervalLoopStopsWhenFsyncFails(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		faults := fault.NewRegistry()
+		if err := faults.ArmSpec("journal/fsync=error(every=1)"); err != nil {
+			t.Fatal(err)
+		}
+		j := openInterval(t, faults)
+		if err := j.Append(jobRecord("job-000001")); err != nil {
+			t.Fatal(err)
+		}
+		// Give the timer a chance to fire into the armed failpoint so
+		// the loop is mid-failure when Close lands.
+		time.Sleep(3 * time.Millisecond)
+		// Close flushes and fsyncs one final time; with the failpoint
+		// still armed that final sync may legitimately error — the
+		// contract under test is termination, not a clean sync.
+		_ = j.Close()
+		waitClosed(t, j.intervalDone, "interval loop done channel")
+	}
+	// The interval goroutines must all be gone. Allow slack for
+	// unrelated runtime goroutines; 20 leaked loops would exceed it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after 20 journal lifetimes",
+				before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,590 @@
+// Package loadgen is the load-test harness behind cmd/corunbench: it
+// drives a live corund instance end-to-end over HTTP — submissions,
+// status reads, plan reads — in either an open loop (fixed arrival
+// rate, the datacenter-facing question "does the daemon keep up with
+// offered load") or a closed loop (fixed concurrency, the saturation
+// question "how fast can N clients go"), with a warmup window that is
+// discarded and a measurement window that is reported.
+//
+// Latencies are recorded per endpoint into log-bucketed histograms
+// (promtext.LogHistogram), so one run resolves both sub-millisecond
+// in-memory acks and multi-second fsync stalls at the same relative
+// error, and the reported p50/p90/p99/p999 are monotone by
+// construction. After the run the harness scrapes the daemon's own
+// /metrics and reports the measurement-window deltas of the serving
+// counters (epochs planned, journal appends/fsyncs/bytes), tying
+// client-observed latency to server-side cost.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corun/internal/promtext"
+	"corun/internal/workload"
+)
+
+// Mode selects how load is offered.
+type Mode string
+
+// The load modes. Open offers arrivals at a fixed rate regardless of
+// how fast the daemon answers (unanswered requests pile up, bounded by
+// MaxInFlight); Closed keeps a fixed number of clients each issuing
+// the next request as soon as the previous one returns.
+const (
+	ModeOpen   Mode = "open"
+	ModeClosed Mode = "closed"
+)
+
+// The endpoints the harness exercises and reports on.
+const (
+	EndpointSubmit = "POST /v1/jobs"
+	EndpointJob    = "GET /v1/jobs/{id}"
+	EndpointPlan   = "GET /v1/plan"
+)
+
+// MixEntry weights one benchmark program in the submitted job mix.
+type MixEntry struct {
+	Program string
+	Weight  float64
+}
+
+// ParseMix parses a job-mix spec: "all" (every calibrated benchmark,
+// equally weighted) or a comma list of program[=weight] terms, e.g.
+// "cfd=3,lud=1,hotspot". Programs must name calibrated benchmarks and
+// weights must be positive.
+func ParseMix(s string) ([]MixEntry, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		names := workload.Names()
+		out := make([]MixEntry, len(names))
+		for i, n := range names {
+			out[i] = MixEntry{Program: n, Weight: 1}
+		}
+		return out, nil
+	}
+	var out []MixEntry
+	for _, term := range strings.Split(s, ",") {
+		name, wstr, hasW := strings.Cut(strings.TrimSpace(term), "=")
+		name = strings.TrimSpace(name)
+		if _, err := workload.ByName(name); err != nil {
+			return nil, fmt.Errorf("loadgen: mix: %w (known: %s)", err, strings.Join(workload.Names(), ", "))
+		}
+		w := 1.0
+		if hasW {
+			var err error
+			w, err = strconv.ParseFloat(strings.TrimSpace(wstr), 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("loadgen: mix: bad weight %q for %s", wstr, name)
+			}
+		}
+		out = append(out, MixEntry{Program: name, Weight: w})
+	}
+	return out, nil
+}
+
+// Config configures one harness run.
+type Config struct {
+	// BaseURL is the corund instance under test, e.g. http://127.0.0.1:8080.
+	BaseURL string
+
+	// Mode is open (fixed arrival rate) or closed (fixed concurrency).
+	Mode Mode
+
+	// Rate is the open-loop arrival rate in requests/second.
+	Rate float64
+
+	// Concurrency is the closed-loop client count.
+	Concurrency int
+
+	// Warmup is discarded before the measurement window; Duration is
+	// the measurement window itself.
+	Warmup   time.Duration
+	Duration time.Duration
+
+	// Mix is the submitted job mix; empty means every benchmark,
+	// equally weighted.
+	Mix []MixEntry
+
+	// ReadFraction of operations are reads (GET /v1/plan and
+	// GET /v1/jobs/{id}, alternating) instead of submissions.
+	ReadFraction float64
+
+	// Seed drives program choice, scales, and read/write interleaving.
+	Seed int64
+
+	// MaxInFlight bounds open-loop outstanding requests; arrivals over
+	// the bound are counted as dropped rather than queued without
+	// limit. Defaults to 512.
+	MaxInFlight int
+
+	// Client overrides the HTTP client (default: 10s timeout).
+	Client *http.Client
+}
+
+func (c *Config) validate() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("loadgen: no base URL")
+	}
+	switch c.Mode {
+	case ModeOpen:
+		if c.Rate <= 0 {
+			return fmt.Errorf("loadgen: open loop needs a positive rate, got %v", c.Rate)
+		}
+	case ModeClosed:
+		if c.Concurrency <= 0 {
+			return fmt.Errorf("loadgen: closed loop needs positive concurrency, got %d", c.Concurrency)
+		}
+	default:
+		return fmt.Errorf("loadgen: unknown mode %q (open | closed)", c.Mode)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: non-positive duration %v", c.Duration)
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("loadgen: negative warmup %v", c.Warmup)
+	}
+	if c.ReadFraction < 0 || c.ReadFraction > 1 {
+		return fmt.Errorf("loadgen: read fraction %v outside [0,1]", c.ReadFraction)
+	}
+	return nil
+}
+
+// endpointStats accumulates one endpoint's measurement window.
+type endpointStats struct {
+	hist   *promtext.LogHistogram
+	count  atomic.Uint64 // 2xx responses with a recorded latency
+	errors atomic.Uint64 // transport errors and unexpected statuses
+}
+
+func newEndpointStats() *endpointStats {
+	// 10µs to 60s at ~10% relative error.
+	return &endpointStats{hist: promtext.NewLogHistogram(10e-6, 60, 1.1)}
+}
+
+// runner is one harness run's shared state.
+type runner struct {
+	cfg       Config
+	client    *http.Client
+	measuring atomic.Bool
+	eps       map[string]*endpointStats
+
+	accepted atomic.Uint64 // 202 submissions in the window
+	rejected atomic.Uint64 // 429/503 shed responses in the window
+	dropped  atomic.Uint64 // open-loop arrivals over MaxInFlight
+
+	idMu   sync.Mutex
+	ids    []string // ring of recently acked job IDs for status reads
+	idNext int      // ring write position once full
+}
+
+// Run drives one load test and returns its report. The context bounds
+// the whole run; cancelling it ends the run early with whatever was
+// measured.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 512
+	}
+	r := &runner{
+		cfg:    cfg,
+		client: cfg.Client,
+		eps: map[string]*endpointStats{
+			EndpointSubmit: newEndpointStats(),
+			EndpointJob:    newEndpointStats(),
+			EndpointPlan:   newEndpointStats(),
+		},
+	}
+	if r.client == nil {
+		r.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		var err error
+		if mix, err = ParseMix("all"); err != nil {
+			return nil, err
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Warmup+cfg.Duration)
+	defer cancel()
+
+	// The load runs in the background; this goroutine owns the warmup
+	// boundary: discard everything recorded so far and snapshot the
+	// server counters, so the report covers exactly the measurement
+	// window.
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		switch cfg.Mode {
+		case ModeClosed:
+			r.runClosed(runCtx, mix)
+		case ModeOpen:
+			r.runOpen(runCtx, mix)
+		}
+	}()
+	if cfg.Warmup > 0 {
+		select {
+		case <-time.After(cfg.Warmup):
+		case <-runCtx.Done():
+		}
+	}
+	for _, ep := range r.eps {
+		ep.hist.Reset()
+		ep.count.Store(0)
+		ep.errors.Store(0)
+	}
+	r.accepted.Store(0)
+	r.rejected.Store(0)
+	r.dropped.Store(0)
+	preScrape, _ := r.scrapeMetrics(ctx)
+	r.measuring.Store(true)
+	measureStart := time.Now()
+	<-loadDone
+	elapsed := time.Since(measureStart)
+	if elapsed <= 0 {
+		elapsed = time.Millisecond // cancelled before the window opened
+	}
+
+	postScrape, scrapeErr := r.scrapeMetrics(ctx)
+
+	rep := &Report{
+		Bench:       benchIndex,
+		GeneratedBy: "corunbench",
+		Config: RunConfig{
+			BaseURL:      cfg.BaseURL,
+			Mode:         string(cfg.Mode),
+			RateRPS:      cfg.Rate,
+			Concurrency:  cfg.Concurrency,
+			WarmupS:      cfg.Warmup.Seconds(),
+			DurationS:    cfg.Duration.Seconds(),
+			MeasuredS:    elapsed.Seconds(),
+			Mix:          formatMix(mix),
+			ReadFraction: cfg.ReadFraction,
+			Seed:         cfg.Seed,
+		},
+		Accepted:  r.accepted.Load(),
+		Rejected:  r.rejected.Load(),
+		Dropped:   r.dropped.Load(),
+		Endpoints: map[string]EndpointReport{},
+	}
+	var ops uint64
+	for name, ep := range r.eps {
+		er := endpointReport(ep)
+		rep.Endpoints[name] = er
+		ops += er.Count
+		rep.Errors += er.Errors
+	}
+	rep.ThroughputRPS = round3(float64(ops) / elapsed.Seconds())
+	rep.SubmitThroughputRPS = round3(float64(rep.Accepted) / elapsed.Seconds())
+	if scrapeErr == nil {
+		rep.Server = serverStats(preScrape, postScrape)
+	}
+	return rep, nil
+}
+
+// runClosed keeps cfg.Concurrency clients busy until ctx expires.
+func (r *runner) runClosed(ctx context.Context, mix []MixEntry) {
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(w)*7919))
+			for ctx.Err() == nil {
+				r.oneOp(ctx, rng, mix)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen fires arrivals on a fixed-rate clock; each arrival runs in
+// its own goroutine so a slow response never delays the next arrival.
+func (r *runner) runOpen(ctx context.Context, mix []MixEntry) {
+	interval := time.Duration(float64(time.Second) / r.cfg.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	sem := make(chan struct{}, r.cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	rngMu := sync.Mutex{}
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	for i := 0; ; i++ {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-tick.C:
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			if r.measuring.Load() {
+				r.dropped.Add(1)
+			}
+			continue
+		}
+		rngMu.Lock()
+		seed := rng.Int63()
+		rngMu.Unlock()
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r.oneOp(ctx, rand.New(rand.NewSource(seed)), mix)
+		}(seed)
+	}
+}
+
+// oneOp issues one operation: a submission, or (with probability
+// ReadFraction) a read alternating between the latest plan and a
+// recently acked job's status.
+func (r *runner) oneOp(ctx context.Context, rng *rand.Rand, mix []MixEntry) {
+	if rng.Float64() < r.cfg.ReadFraction {
+		if rng.Intn(2) == 0 {
+			r.getPlan(ctx)
+		} else if !r.getJob(ctx, rng) {
+			r.getPlan(ctx) // no acked IDs yet
+		}
+		return
+	}
+	r.submit(ctx, rng, mix)
+}
+
+func (r *runner) submit(ctx context.Context, rng *rand.Rand, mix []MixEntry) {
+	total := 0.0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	pick := rng.Float64() * total
+	prog := mix[len(mix)-1].Program
+	for _, m := range mix {
+		if pick < m.Weight {
+			prog = m.Program
+			break
+		}
+		pick -= m.Weight
+	}
+	spec := workload.JobSpec{Program: prog, Scale: 0.8 + 0.4*rng.Float64(), Label: "bench"}
+	body, _ := json.Marshal(spec)
+
+	ep := r.eps[EndpointSubmit]
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		r.recordErr(ep)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil { // window-close cancellations are not server errors
+			r.recordErr(ep)
+		}
+		return
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lat := time.Since(start)
+	measuring := r.measuring.Load()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		if measuring {
+			ep.hist.Observe(lat.Seconds())
+			ep.count.Add(1)
+			r.accepted.Add(1)
+		}
+		var j struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(rb, &j) == nil && j.ID != "" {
+			r.rememberID(j.ID)
+		}
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		if measuring {
+			r.rejected.Add(1)
+		}
+	default:
+		r.recordErr(ep)
+	}
+}
+
+func (r *runner) getPlan(ctx context.Context) {
+	ep := r.eps[EndpointPlan]
+	// 404 before the first epoch is a well-formed answer, not an error.
+	r.timedGet(ctx, ep, "/v1/plan", http.StatusOK, http.StatusNotFound)
+}
+
+// getJob reads a recently acked job's status; false if none is known
+// yet.
+func (r *runner) getJob(ctx context.Context, rng *rand.Rand) bool {
+	r.idMu.Lock()
+	if len(r.ids) == 0 {
+		r.idMu.Unlock()
+		return false
+	}
+	id := r.ids[rng.Intn(len(r.ids))]
+	r.idMu.Unlock()
+	r.timedGet(ctx, r.eps[EndpointJob], "/v1/jobs/"+id, http.StatusOK)
+	return true
+}
+
+func (r *runner) timedGet(ctx context.Context, ep *endpointStats, path string, okStatuses ...int) {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+path, nil)
+	if err != nil {
+		r.recordErr(ep)
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil { // window-close cancellations are not server errors
+			r.recordErr(ep)
+		}
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	lat := time.Since(start)
+	ok := false
+	for _, s := range okStatuses {
+		if resp.StatusCode == s {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		r.recordErr(ep)
+		return
+	}
+	if r.measuring.Load() {
+		ep.hist.Observe(lat.Seconds())
+		ep.count.Add(1)
+	}
+}
+
+func (r *runner) recordErr(ep *endpointStats) {
+	if r.measuring.Load() {
+		ep.errors.Add(1)
+	}
+}
+
+// rememberID keeps a bounded ring of acked job IDs for status reads.
+func (r *runner) rememberID(id string) {
+	r.idMu.Lock()
+	if len(r.ids) < 1024 {
+		r.ids = append(r.ids, id)
+	} else {
+		r.ids[r.idNext] = id
+		r.idNext = (r.idNext + 1) % len(r.ids)
+	}
+	r.idMu.Unlock()
+}
+
+// scrapeMetrics fetches and parses the daemon's /metrics exposition
+// into a flat name→value map (labeled samples keep their label
+// clause).
+func (r *runner) scrapeMetrics(ctx context.Context) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /metrics -> %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out, nil
+}
+
+func endpointReport(ep *endpointStats) EndpointReport {
+	er := EndpointReport{Count: ep.count.Load(), Errors: ep.errors.Load()}
+	if er.Count > 0 {
+		h := ep.hist
+		er.MeanMs = round3(h.Mean() * 1e3)
+		er.P50Ms = round3(h.Quantile(0.5) * 1e3)
+		er.P90Ms = round3(h.Quantile(0.9) * 1e3)
+		er.P99Ms = round3(h.Quantile(0.99) * 1e3)
+		er.P999Ms = round3(h.Quantile(0.999) * 1e3)
+		er.MaxMs = round3(h.Max() * 1e3)
+	}
+	return er
+}
+
+// serverStats maps the pre/post /metrics scrapes to the report's
+// server-side view: counter deltas over the measurement window, plus
+// final gauges.
+func serverStats(pre, post map[string]float64) *ServerStats {
+	if post == nil {
+		return nil
+	}
+	delta := func(name string) float64 {
+		d := post[name]
+		if pre != nil {
+			d -= pre[name]
+		}
+		return d
+	}
+	return &ServerStats{
+		Epochs:         delta("corund_epochs_total"),
+		JobsSubmitted:  delta("corund_jobs_submitted_total"),
+		JobsDone:       delta("corund_jobs_done_total"),
+		JobsRejected:   delta("corund_jobs_rejected_total"),
+		JournalAppends: delta("corund_journal_appends_total"),
+		JournalFsyncs:  delta("corund_journal_fsyncs_total"),
+		JournalBytes:   delta("corund_journal_bytes_total"),
+		QueueDepth:     post["corund_queue_depth"],
+		SimClockS:      post["corund_sim_clock_seconds"],
+	}
+}
+
+func formatMix(mix []MixEntry) string {
+	terms := make([]string, len(mix))
+	for i, m := range mix {
+		terms[i] = fmt.Sprintf("%s=%g", m.Program, m.Weight)
+	}
+	sort.Strings(terms)
+	return strings.Join(terms, ",")
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1e3+0.5)) / 1e3
+}

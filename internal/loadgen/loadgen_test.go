@@ -1,0 +1,191 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubCorund is a minimal fake of the daemon's API surface: enough for
+// the harness to run a full measurement window without a scheduler.
+func stubCorund(t *testing.T) (*httptest.Server, *atomic.Uint64) {
+	t.Helper()
+	var submits atomic.Uint64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		n := submits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id": "job-%06d"}`, n)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"id": %q, "state": "done"}`, r.PathValue("id"))
+	})
+	mux.HandleFunc("GET /v1/plan", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error": "no epoch planned yet"}`, http.StatusNotFound)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "# TYPE corund_jobs_submitted_total counter\n")
+		fmt.Fprintf(w, "corund_jobs_submitted_total %d\n", submits.Load())
+		fmt.Fprintf(w, "corund_epochs_total 7\n")
+		fmt.Fprintf(w, "corund_queue_depth 3\n")
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &submits
+}
+
+// TestRunClosedLoopSmoke drives the harness against the stub and pins
+// the report schema: populated endpoint sections, monotone quantiles,
+// and server-side counter deltas that match the stub's accounting.
+func TestRunClosedLoopSmoke(t *testing.T) {
+	srv, submits := stubCorund(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      srv.URL,
+		Mode:         ModeClosed,
+		Concurrency:  4,
+		Warmup:       50 * time.Millisecond,
+		Duration:     300 * time.Millisecond,
+		ReadFraction: 0.5,
+		Seed:         42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Bench != 5 || rep.GeneratedBy != "corunbench" {
+		t.Errorf("report identity: bench=%d generated_by=%q", rep.Bench, rep.GeneratedBy)
+	}
+	if rep.Accepted == 0 {
+		t.Fatal("no accepted submissions in the measurement window")
+	}
+	if rep.ThroughputRPS <= 0 || rep.SubmitThroughputRPS <= 0 {
+		t.Errorf("throughput not positive: %v / %v", rep.ThroughputRPS, rep.SubmitThroughputRPS)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("unexpected errors against the stub: %d", rep.Errors)
+	}
+	// The stub counted every submission ever made (warmup included);
+	// the report's accepted count covers only the measurement window.
+	if rep.Accepted > submits.Load() {
+		t.Errorf("accepted %d > total submits %d", rep.Accepted, submits.Load())
+	}
+
+	for _, name := range []string{EndpointSubmit, EndpointJob, EndpointPlan} {
+		ep, ok := rep.Endpoints[name]
+		if !ok {
+			t.Fatalf("endpoint %q missing from report", name)
+		}
+		if ep.Count == 0 {
+			t.Errorf("endpoint %q recorded no requests", name)
+			continue
+		}
+		// The headline guarantee: quantiles monotone and positive.
+		if !(ep.P50Ms > 0 && ep.P50Ms <= ep.P90Ms && ep.P90Ms <= ep.P99Ms && ep.P99Ms <= ep.P999Ms) {
+			t.Errorf("endpoint %q quantiles not monotone: p50=%v p90=%v p99=%v p999=%v",
+				name, ep.P50Ms, ep.P90Ms, ep.P99Ms, ep.P999Ms)
+		}
+		if ep.MaxMs < ep.P50Ms {
+			t.Errorf("endpoint %q max %v below p50 %v", name, ep.MaxMs, ep.P50Ms)
+		}
+	}
+
+	if rep.Server == nil {
+		t.Fatal("server stats missing")
+	}
+	if rep.Server.Epochs != 0 { // stub reports a constant, delta must be 0
+		t.Errorf("epoch delta %v, want 0", rep.Server.Epochs)
+	}
+	if rep.Server.QueueDepth != 3 {
+		t.Errorf("queue depth %v, want 3", rep.Server.QueueDepth)
+	}
+	if uint64(rep.Server.JobsSubmitted) < rep.Accepted {
+		t.Errorf("server submit delta %v < accepted %d", rep.Server.JobsSubmitted, rep.Accepted)
+	}
+
+	// The report must round-trip as the documented JSON schema.
+	var buf strings.Builder
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"bench", "config", "throughput_rps", "endpoints", "server"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("report JSON missing %q", key)
+		}
+	}
+}
+
+// TestRunOpenLoopSmoke exercises the fixed-rate arrival path.
+func TestRunOpenLoopSmoke(t *testing.T) {
+	srv, _ := stubCorund(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      srv.URL,
+		Mode:         ModeOpen,
+		Rate:         200,
+		Warmup:       50 * time.Millisecond,
+		Duration:     300 * time.Millisecond,
+		ReadFraction: 0.25,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted == 0 {
+		t.Fatal("open loop made no accepted submissions")
+	}
+	if rep.Config.Mode != "open" || rep.Config.RateRPS != 200 {
+		t.Errorf("config echo wrong: %+v", rep.Config)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	all, err := ParseMix("all")
+	if err != nil || len(all) == 0 {
+		t.Fatalf("ParseMix(all) = %v, %v", all, err)
+	}
+	got, err := ParseMix("cfd=3, lud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != (MixEntry{"cfd", 3}) || got[1] != (MixEntry{"lud", 1}) {
+		t.Errorf("mix = %+v", got)
+	}
+	for _, bad := range []string{"nosuchprog", "cfd=0", "cfd=-1", "cfd=x"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := Config{BaseURL: "http://x", Mode: ModeClosed, Concurrency: 1, Duration: time.Second}
+	if err := base.validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*Config){
+		"no url":        func(c *Config) { c.BaseURL = "" },
+		"bad mode":      func(c *Config) { c.Mode = "burst" },
+		"open no rate":  func(c *Config) { c.Mode = ModeOpen; c.Rate = 0 },
+		"closed no n":   func(c *Config) { c.Concurrency = 0 },
+		"no duration":   func(c *Config) { c.Duration = 0 },
+		"neg warmup":    func(c *Config) { c.Warmup = -time.Second },
+		"read frac > 1": func(c *Config) { c.ReadFraction = 1.5 },
+	} {
+		c := base
+		mut(&c)
+		if err := c.validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package loadgen
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"corun/internal/journal"
+)
+
+// Microbench runs the in-process micro-benchmarks that pair with a
+// harness run: the journal append path (the daemon's ack-latency
+// floor) in single-record and per-epoch batch shapes, and raw record
+// framing. They use testing.Benchmark, so the ns/op and allocs/op
+// match what `go test -bench` reports for the same code.
+func Microbench() (map[string]MicroResult, error) {
+	out := map[string]MicroResult{}
+	run := func(name string, fn func(b *testing.B)) {
+		out[name] = toMicro(testing.Benchmark(fn))
+	}
+
+	dir, err := os.MkdirTemp("", "corunbench-journal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	// FsyncNever so the benchmark measures the encode+write path, not
+	// the disk; compaction off so it measures appends, not snapshots.
+	jl, _, _, err := journal.Open(journal.Options{Dir: dir, Fsync: journal.FsyncNever, SnapshotBytes: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer jl.Close()
+
+	rec := benchRecord("job-000000")
+	run("journal_append", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := jl.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	batch := make([]journal.Record, 16)
+	for i := range batch {
+		batch[i] = benchRecord(fmt.Sprintf("job-%06d", i))
+	}
+	run("journal_append_batch16", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := jl.Append(batch...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("record_encode", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = journal.AppendRecord(buf[:0], rec)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return out, nil
+}
+
+func benchRecord(id string) journal.Record {
+	return journal.Record{
+		Type: journal.TypeJobState,
+		Job: &journal.JobRecord{
+			ID: id, Program: "cfd", Scale: 1.1, Label: "bench",
+			State: "done", Epoch: 3,
+			StartedSimS: 1, FinishedSimS: 2, ResponseS: 1.5, Device: "GPU",
+		},
+	}
+}
+
+func toMicro(r testing.BenchmarkResult) MicroResult {
+	return MicroResult{
+		N:           r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}

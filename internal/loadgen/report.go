@@ -1,0 +1,128 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// benchIndex stamps the report with the bench-trajectory index this
+// harness was introduced at; BENCH_<benchIndex>.json is the canonical
+// output name.
+const benchIndex = 5
+
+// RunConfig echoes the harness configuration into the report so a
+// future run can be compared like-for-like.
+type RunConfig struct {
+	BaseURL      string  `json:"base_url"`
+	Mode         string  `json:"mode"`
+	RateRPS      float64 `json:"rate_rps,omitempty"`
+	Concurrency  int     `json:"concurrency,omitempty"`
+	WarmupS      float64 `json:"warmup_s"`
+	DurationS    float64 `json:"duration_s"`
+	MeasuredS    float64 `json:"measured_s"`
+	Mix          string  `json:"mix"`
+	ReadFraction float64 `json:"read_fraction"`
+	Seed         int64   `json:"seed"`
+}
+
+// EndpointReport is one endpoint's measurement window: successful
+// requests, errors, and latency quantiles from the log-bucketed
+// histogram (conservative and monotone: p50 ≤ p90 ≤ p99 ≤ p999).
+type EndpointReport struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	MeanMs float64 `json:"mean_ms,omitempty"`
+	P50Ms  float64 `json:"p50_ms,omitempty"`
+	P90Ms  float64 `json:"p90_ms,omitempty"`
+	P99Ms  float64 `json:"p99_ms,omitempty"`
+	P999Ms float64 `json:"p999_ms,omitempty"`
+	MaxMs  float64 `json:"max_ms,omitempty"`
+}
+
+// ServerStats is the daemon's own accounting over the measurement
+// window, scraped from /metrics: counter deltas plus final gauges.
+type ServerStats struct {
+	Epochs         float64 `json:"epochs_planned"`
+	JobsSubmitted  float64 `json:"jobs_submitted"`
+	JobsDone       float64 `json:"jobs_done"`
+	JobsRejected   float64 `json:"jobs_rejected"`
+	JournalAppends float64 `json:"journal_appends"`
+	JournalFsyncs  float64 `json:"journal_fsyncs"`
+	JournalBytes   float64 `json:"journal_bytes"`
+	QueueDepth     float64 `json:"queue_depth"`
+	SimClockS      float64 `json:"sim_clock_s"`
+}
+
+// MicroResult is one in-process micro-benchmark (testing.Benchmark)
+// paired with the HTTP-level run: ns, bytes, and allocations per op.
+type MicroResult struct {
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Optimization records one measured hot-path change: the metric it
+// moved, the before/after numbers from the same harness, and how they
+// were obtained. These entries are maintained by hand in a notes file
+// (see MergeNotes) — the harness cannot re-measure code that no
+// longer exists.
+type Optimization struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Metric      string  `json:"metric"`
+	Unit        string  `json:"unit"`
+	Before      float64 `json:"before"`
+	After       float64 `json:"after"`
+	Improvement string  `json:"improvement"`
+	Source      string  `json:"source"`
+}
+
+// Report is the harness's machine-readable output (BENCH_5.json).
+type Report struct {
+	Bench       int       `json:"bench"`
+	GeneratedBy string    `json:"generated_by"`
+	Config      RunConfig `json:"config"`
+
+	// ThroughputRPS counts every successful measured request;
+	// SubmitThroughputRPS only acknowledged submissions.
+	ThroughputRPS       float64 `json:"throughput_rps"`
+	SubmitThroughputRPS float64 `json:"submit_throughput_rps"`
+	Accepted            uint64  `json:"accepted"`
+	Rejected            uint64  `json:"rejected"`
+	Errors              uint64  `json:"errors"`
+	Dropped             uint64  `json:"dropped,omitempty"`
+
+	Endpoints map[string]EndpointReport `json:"endpoints"`
+	Server    *ServerStats              `json:"server,omitempty"`
+
+	Microbench    map[string]MicroResult `json:"microbench,omitempty"`
+	Optimizations []Optimization         `json:"optimizations,omitempty"`
+}
+
+// MergeNotes loads a committed optimization-evidence file (a JSON
+// array of Optimization entries) into the report. The before numbers
+// in such a file were measured by running this same harness against
+// the pre-optimization code, so they cannot be regenerated — the file
+// is the durable half of the before/after pair.
+func (r *Report) MergeNotes(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var notes []Optimization
+	if err := json.Unmarshal(b, &notes); err != nil {
+		return fmt.Errorf("loadgen: notes %s: %w", path, err)
+	}
+	r.Optimizations = append(r.Optimizations, notes...)
+	return nil
+}
+
+// Write renders the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

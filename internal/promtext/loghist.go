@@ -1,0 +1,203 @@
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// LogHistogram is a histogram over log-spaced (geometric) buckets:
+// bucket i covers [Min·Growth^i, Min·Growth^(i+1)). Where the linear
+// Histogram needs its bounds hand-picked per metric, a log histogram
+// holds a fixed relative error across many orders of magnitude, which
+// is the right shape for request latencies — a harness that sees both
+// 80µs cache hits and 4s fsync stalls records both with the same
+// ~Growth-factor resolution.
+//
+// Quantile reports the upper bound of the bucket holding the
+// nearest-rank observation, so quantiles are conservative (never
+// under-report) and monotone by construction: for q1 ≤ q2,
+// Quantile(q1) ≤ Quantile(q2). All methods are safe for concurrent
+// use.
+type LogHistogram struct {
+	nm, hp string
+	min    float64
+	growth float64
+	lnG    float64 // cached ln(growth), hot in Observe
+
+	mu      sync.Mutex
+	buckets []uint64
+	under   uint64 // observations below min (reported as ≤ min)
+	over    uint64 // observations at or above the top bound
+	count   uint64
+	sum     float64
+	max     float64
+}
+
+// NewLogHistogram builds a standalone (unregistered) log histogram
+// covering [min, max) with geometric bucket growth. It panics on a
+// non-positive min, a max at or below min, or a growth at or below 1 —
+// histogram shapes are wired once at startup, so a bad shape is a
+// programming error worth failing fast on.
+func NewLogHistogram(min, max, growth float64) *LogHistogram {
+	if !(min > 0) || !(max > min) || !(growth > 1) {
+		panic(fmt.Sprintf("promtext: bad log histogram shape min=%v max=%v growth=%v", min, max, growth))
+	}
+	n := int(math.Ceil(math.Log(max/min) / math.Log(growth)))
+	if n < 1 {
+		n = 1
+	}
+	return &LogHistogram{
+		min:     min,
+		growth:  growth,
+		lnG:     math.Log(growth),
+		buckets: make([]uint64, n),
+	}
+}
+
+// NewLogHistogram registers a log-bucketed histogram; it renders as a
+// standard cumulative Prometheus histogram whose le bounds are the
+// geometric bucket upper bounds.
+func (r *Registry) NewLogHistogram(name, help string, min, max, growth float64) *LogHistogram {
+	h := NewLogHistogram(min, max, growth)
+	h.nm, h.hp = name, help
+	r.register(h)
+	return h
+}
+
+// bound returns bucket i's upper bound, min·growth^(i+1).
+func (h *LogHistogram) bound(i int) float64 {
+	return h.min * math.Pow(h.growth, float64(i+1))
+}
+
+// Observe records one value. NaN observations are dropped — they
+// carry no ordering, so folding them into any bucket would corrupt
+// every quantile.
+func (h *LogHistogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	idx := -1 // under
+	if v >= h.min {
+		idx = int(math.Log(v/h.min) / h.lnG)
+		// Float rounding at an exact bucket boundary can land one off;
+		// clamp into the covered range.
+		if idx >= len(h.buckets) {
+			idx = len(h.buckets)
+		}
+	}
+	h.mu.Lock()
+	switch {
+	case idx < 0:
+		h.under++
+	case idx == len(h.buckets):
+		h.over++
+	default:
+		h.buckets[idx]++
+	}
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *LogHistogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *LogHistogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Max returns the largest observation (0 before any).
+func (h *LogHistogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Mean returns the arithmetic mean (0 before any observation).
+func (h *LogHistogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0, 1]) of
+// everything observed so far: the upper bound of the bucket holding
+// the nearest-rank observation. Below-range observations report min,
+// above-range ones report the recorded max. NaN before any
+// observation; panics outside [0, 1].
+func (h *LogHistogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("promtext: quantile %v outside [0,1]", q))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	// Nearest rank: the smallest bucket with at least ⌈q·count⌉
+	// observations at or below its bound.
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := h.under
+	if cum >= rank {
+		return h.min
+	}
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			return h.bound(i)
+		}
+	}
+	return h.max
+}
+
+// Reset zeroes every bucket and counter, so a harness can discard its
+// warmup window and measure from a clean slate.
+func (h *LogHistogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.under, h.over, h.count, h.sum, h.max = 0, 0, 0, 0, 0
+}
+
+func (h *LogHistogram) name() string { return h.nm }
+func (h *LogHistogram) help() string { return h.hp }
+func (h *LogHistogram) typ() string  { return "histogram" }
+func (h *LogHistogram) write(w io.Writer) error {
+	h.mu.Lock()
+	buckets := append([]uint64(nil), h.buckets...)
+	under, over, sum, count := h.under, h.over, h.sum, h.count
+	h.mu.Unlock()
+	cum := under
+	for i, c := range buckets {
+		cum += c
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.nm, formatFloat(h.bound(i)), cum); err != nil {
+			return err
+		}
+	}
+	cum += over
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.nm, cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", h.nm, formatFloat(sum), h.nm, count)
+	return err
+}

@@ -1,0 +1,120 @@
+package promtext
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLogHistogramQuantiles(t *testing.T) {
+	h := NewLogHistogram(1e-6, 10, 1.1)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile not NaN")
+	}
+	// 1..1000 ms as seconds: quantiles must bracket the exact values
+	// within one bucket's relative error.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	for _, tc := range []struct{ q, exact float64 }{
+		{0.5, 0.5}, {0.9, 0.9}, {0.99, 0.99}, {0.999, 0.999}, {1, 1},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.exact || got > tc.exact*1.1*1.01 {
+			t.Errorf("q%v = %v, want in [%v, %v]", tc.q, got, tc.exact, tc.exact*1.1)
+		}
+	}
+	// Monotonicity across a fine grid.
+	prev := 0.0
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantiles not monotone: q=%v -> %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestLogHistogramRange(t *testing.T) {
+	h := NewLogHistogram(0.001, 1, 2)
+	h.Observe(1e-9) // under range
+	h.Observe(50)   // over range
+	h.Observe(math.NaN())
+	if h.Count() != 2 {
+		t.Fatalf("count %d, want 2 (NaN dropped)", h.Count())
+	}
+	if got := h.Quantile(0); got != 0.001 {
+		t.Errorf("under-range quantile %v, want min", got)
+	}
+	if got := h.Quantile(1); got != 50 {
+		t.Errorf("over-range quantile %v, want recorded max", got)
+	}
+	if h.Max() != 50 {
+		t.Errorf("max %v", h.Max())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("reset did not clear the histogram")
+	}
+}
+
+func TestLogHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewLogHistogram("req_latency_seconds", "Request latency.", 0.001, 10, 2)
+	h.Observe(0.0015)
+	h.Observe(0.1)
+	h.Observe(99) // over range -> only the +Inf bucket
+	var sb strings.Builder
+	if err := reg.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE req_latency_seconds histogram",
+		`req_latency_seconds_bucket{le="0.002"} 1`,
+		`req_latency_seconds_bucket{le="+Inf"} 3`,
+		"req_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts never decrease down the exposition.
+	prev := -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "req_latency_seconds_bucket") {
+			continue
+		}
+		n, err := strconv.Atoi(line[strings.LastIndexByte(line, ' ')+1:])
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("buckets not cumulative: %q after %d", line, prev)
+		}
+		prev = n
+	}
+}
+
+func TestLogHistogramConcurrent(t *testing.T) {
+	h := NewLogHistogram(1e-6, 1, 1.5)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i%100+1) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count %d, want 4000", h.Count())
+	}
+}

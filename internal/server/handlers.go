@@ -57,18 +57,38 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.Handle("GET /metrics", s.m.reg.Handler())
 	if s.cfg.RequestTimeout > 0 {
-		return http.TimeoutHandler(mux, s.cfg.RequestTimeout,
+		th := http.TimeoutHandler(mux, s.cfg.RequestTimeout,
 			`{"error": "server: request deadline exceeded"}`)
+		// TimeoutHandler writes its JSON timeout body straight to the
+		// outer ResponseWriter without a Content-Type, so that one 503
+		// used to go out as text/plain while every other error on the
+		// API is application/json. Pre-setting the header here fixes
+		// the timeout path; on the success path the buffered handler
+		// headers are copied over key-by-key, so endpoints that set
+		// their own type (text/csv trace, the metrics exposition) still
+		// win.
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			th.ServeHTTP(w, r)
+		})
 	}
 	return mux
 }
 
-// shed rejects a request with 503 + Retry-After: the daemon is alive
-// but cannot durably accept the change right now (journal degraded or
-// a write failed past its retries). Retry-After tells well-behaved
-// clients when the breaker's next probe is due.
-func (s *Server) shedErr(w http.ResponseWriter, err error) {
+// retryHeader stamps the Retry-After hint every load-shedding
+// response carries: the breaker cooldown remainder while degraded,
+// otherwise an estimate from recent epoch latency. All shed paths
+// (503 degraded, 429 queue-full, /readyz degraded) go through here so
+// the hint cannot drift between them.
+func (s *Server) retryHeader(w http.ResponseWriter) {
 	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+}
+
+// shedErr rejects a request with 503 + Retry-After: the daemon is
+// alive but cannot durably accept the change right now (journal
+// degraded or a write failed past its retries).
+func (s *Server) shedErr(w http.ResponseWriter, err error) {
+	s.retryHeader(w)
 	writeErr(w, http.StatusServiceUnavailable, err)
 }
 
@@ -104,7 +124,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.shedErr(w, err)
 		return
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		s.retryHeader(w)
 		writeErr(w, http.StatusTooManyRequests, err)
 		return
 	case err != nil:
@@ -116,7 +136,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+	body, err := s.jobsJSON()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -225,7 +252,7 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		// readiness so orchestrators route traffic elsewhere without
 		// restarting the pod — recovery is automatic once a probe
 		// write succeeds.
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		s.retryHeader(w)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
 	case !s.Ready():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})

@@ -26,11 +26,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -269,11 +270,21 @@ type Server struct {
 	lastPlan   *PlanView
 	draining   bool
 
+	// jobsVersion counts job-table mutations; GET /v1/jobs reuses its
+	// encoded response while the version is unchanged, so dashboards
+	// polling a quiet daemon do not re-marshal the whole table.
+	jobsVersion uint64
+
+	// jobsCacheMu guards the encoded GET /v1/jobs response. It is
+	// separate from (and acquired before) mu so encoding happens
+	// outside the scheduler's critical section.
+	jobsCacheMu  sync.Mutex
+	jobsCacheVer uint64
+	jobsCache    []byte
+
 	traceMakespan *trace.Series
 	tracePower    *trace.Series
 	traceBatch    *trace.Series
-
-	rng *rand.Rand // scheduler goroutine only
 
 	wake      chan struct{}
 	stop      chan struct{}
@@ -316,7 +327,6 @@ func New(cfg Config) (*Server, error) {
 		traceMakespan: trace.NewSeries("epoch_makespan", "s"),
 		tracePower:    trace.NewSeries("epoch_avg_power", "W"),
 		traceBatch:    trace.NewSeries("epoch_jobs", "count"),
-		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		wake:          make(chan struct{}, 1),
 		stop:          make(chan struct{}),
 		drained:       make(chan struct{}),
@@ -421,10 +431,22 @@ func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
 			}
 			return Job{}, fmt.Errorf("%w: journaling submission: %v", ErrJournal, err)
 		}
+		// A drain can begin while the lock was released for the journal
+		// write; the scheduler loop may already have flushed its final
+		// round and exited. Enqueuing now would ack a job nothing will
+		// ever run, so refuse it. (The submission record is already on
+		// disk — restart recovery re-enqueues the job, the documented
+		// at-least-once side of the durability guarantee.)
+		if s.draining {
+			s.m.rejected.Inc()
+			s.mu.Unlock()
+			return Job{}, ErrDraining
+		}
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.queue = append(s.queue, j)
+	s.jobsVersion++
 	s.m.submitted.Inc()
 	s.m.queueDepth.Set(float64(len(s.queue)))
 	out := *j // snapshot before the scheduler can touch the job
@@ -451,11 +473,43 @@ func (s *Server) Job(id string) (Job, bool) {
 func (s *Server) Jobs() []Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.jobsLocked()
+}
+
+func (s *Server) jobsLocked() []Job {
 	out := make([]Job, len(s.order))
 	for i, id := range s.order {
 		out[i] = *s.jobs[id]
 	}
 	return out
+}
+
+// jobsJSON returns the encoded GET /v1/jobs response body. The
+// encoding is cached against jobsVersion: while no job changes state,
+// repeated polls (the dashboard pattern) reuse the same bytes instead
+// of re-snapshotting and re-marshalling the whole table. Callers must
+// not mutate the returned slice.
+func (s *Server) jobsJSON() ([]byte, error) {
+	s.jobsCacheMu.Lock()
+	defer s.jobsCacheMu.Unlock()
+	s.mu.Lock()
+	ver := s.jobsVersion
+	if s.jobsCache != nil && s.jobsCacheVer == ver {
+		s.mu.Unlock()
+		return s.jobsCache, nil
+	}
+	jobs := s.jobsLocked()
+	s.mu.Unlock()
+	// Encode outside mu: a large table must not stall admission or the
+	// scheduler. jobsCacheMu still serializes concurrent re-encoders.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"jobs": jobs}); err != nil {
+		return nil, err
+	}
+	s.jobsCacheVer, s.jobsCache = ver, buf.Bytes()
+	return s.jobsCache, nil
 }
 
 // QueueDepth returns the number of admitted-but-unclaimed jobs.
@@ -684,6 +738,13 @@ func (s *Server) loop(ctx context.Context) {
 }
 
 // runEpoch claims the queue and runs one scheduling round.
+//
+// Only terminal transitions are journaled (in one batch at the end of
+// the round). The intermediate planned/running records carried no
+// recovery information — startup replay resets every non-terminal job
+// to queued with its epoch markers cleared — so writing them cost two
+// extra journal appends (and, under FsyncAlways, two extra fsyncs)
+// per epoch for state a restart discards anyway.
 func (s *Server) runEpoch() {
 	s.mu.Lock()
 	batch := s.queue
@@ -692,16 +753,12 @@ func (s *Server) runEpoch() {
 	epoch := s.epochCount + 1
 	capW, policy := s.capW, s.policy
 	clock := s.simClock
-	seed := s.rng.Int63()
+	seed := epochSeed(s.cfg.Seed, epoch)
 	insts := make([]*workload.Instance, len(batch))
 	var specErr error
-	var recs []journal.Record
 	for i, j := range batch {
 		j.State = JobPlanned
 		j.Epoch = epoch
-		if s.jl != nil {
-			recs = append(recs, stateRecord(j, 0))
-		}
 		inst, err := j.spec.Instance(i, j.ID)
 		if err != nil {
 			specErr = err
@@ -709,6 +766,7 @@ func (s *Server) runEpoch() {
 		}
 		insts[i] = inst
 	}
+	s.jobsVersion++
 	pv := newPlanView(epoch, policy, capW, clock, batch)
 	pv.State = "planning"
 	s.lastPlan = &pv
@@ -717,7 +775,6 @@ func (s *Server) runEpoch() {
 		s.finishEpochErr(batch, epoch, specErr)
 		return
 	}
-	s.journalAppend(recs)
 
 	// The epoch failpoint: an injected error fails this batch (the
 	// daemon stays up, exactly like an unschedulable cap), and a
@@ -733,16 +790,13 @@ func (s *Server) runEpoch() {
 	}
 	opts.Planned = func(plan *core.Schedule, predicted units.Seconds) {
 		s.mu.Lock()
-		var runRecs []journal.Record
 		for _, j := range batch {
 			j.State = JobRunning
 			if predicted > 0 {
 				j.PredictedFinishSimS = float64(clock + predicted)
 			}
-			if s.jl != nil {
-				runRecs = append(runRecs, stateRecord(j, 0))
-			}
 		}
+		s.jobsVersion++
 		run := newPlanView(epoch, policy, capW, clock, batch)
 		run.State = "running"
 		fillPlan(&run, plan, predicted, batch)
@@ -751,7 +805,6 @@ func (s *Server) runEpoch() {
 			s.m.predMakespan.Set(float64(predicted))
 		}
 		s.mu.Unlock()
-		s.journalAppend(runRecs)
 	}
 
 	start := time.Now()
@@ -792,6 +845,7 @@ func (s *Server) runEpoch() {
 	}
 	s.simClock = clock + res.Makespan
 	s.epochCount = epoch
+	s.jobsVersion++
 
 	s.m.epochs.Inc()
 	s.m.done.Add(float64(len(res.Completions)))
@@ -831,6 +885,21 @@ func (s *Server) runEpoch() {
 	s.journalAppend(doneRecs)
 }
 
+// epochSeed derives the per-epoch RNG seed for randomized policies
+// from the configured seed and the epoch number (splitmix64 finalizer).
+// Deriving instead of drawing from a shared rand.Rand keeps runs
+// reproducible for a given (seed, epoch) regardless of interleaving,
+// and leaves nothing for concurrent paths to contend on.
+func epochSeed(seed int64, epoch int) int64 {
+	z := uint64(seed) + uint64(epoch)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z >> 1)
+}
+
 // finishEpochErr marks a failed round. The daemon stays up: one
 // unschedulable batch (e.g. the cap was dropped below feasibility
 // between admission and planning) must not take the node down.
@@ -844,6 +913,7 @@ func (s *Server) finishEpochErr(batch []*Job, epoch int, err error) {
 			recs = append(recs, stateRecord(j, 0))
 		}
 	}
+	s.jobsVersion++
 	s.m.failed.Add(float64(len(batch)))
 	s.m.epochs.Inc()
 	s.epochCount = epoch

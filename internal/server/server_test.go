@@ -28,7 +28,7 @@ var (
 	charErr  error
 )
 
-func testChar(t *testing.T) *model.Characterization {
+func testChar(t testing.TB) *model.Characterization {
 	t.Helper()
 	charOnce.Do(func() {
 		charVal, charErr = model.Characterize(model.CharacterizeOptions{
@@ -41,7 +41,7 @@ func testChar(t *testing.T) *model.Characterization {
 	return charVal
 }
 
-func newTestServer(t *testing.T, mod func(*Config)) *Server {
+func newTestServer(t testing.TB, mod func(*Config)) *Server {
 	t.Helper()
 	cfg := Config{Char: testChar(t), Cap: 15, Policy: online.PolicyHCSPlus, Seed: 1}
 	if mod != nil {

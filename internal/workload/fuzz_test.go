@@ -34,6 +34,15 @@ func FuzzJobSpecJSON(f *testing.F) {
 	f.Add([]byte(`{"program":"cfd","dead_line_s":9}`))
 	f.Add([]byte(`{"program":"cfd","scale":1e308}`))
 	f.Add([]byte(`{"program":"cfd"} trailing`))
+	// Out-of-range and denormal numerics: 1e309 overflows float64 (a
+	// range error from the decoder), huge negative exponents underflow
+	// to 0 (caught by the non-positive check after Normalize skips
+	// exact zero only), and deadline overflow must be rejected too.
+	f.Add([]byte(`{"program":"cfd","scale":1e309}`))
+	f.Add([]byte(`{"program":"cfd","scale":-1e309}`))
+	f.Add([]byte(`{"program":"cfd","scale":5e-324}`))
+	f.Add([]byte(`{"program":"cfd","deadline_s":1e309}`))
+	f.Add([]byte(`{"program":"cfd","scale":1E4932}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec, err := DecodeJobSpec(strings.NewReader(string(data)))

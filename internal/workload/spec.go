@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -44,8 +45,17 @@ func (s JobSpec) Validate() error {
 	if _, err := ByName(s.Program); err != nil {
 		return fmt.Errorf("workload: job spec: %w (known: %s)", err, strings.Join(Names(), ", "))
 	}
+	// NaN must be rejected explicitly: NaN <= 0 is false, so it would
+	// sail through the sign checks and poison every downstream model
+	// computation. JSON cannot carry NaN/Inf, but the Go API can.
+	if math.IsNaN(s.Scale) || math.IsInf(s.Scale, 0) {
+		return fmt.Errorf("workload: job spec has non-finite scale %v", s.Scale)
+	}
 	if s.Scale <= 0 {
 		return fmt.Errorf("workload: job spec has non-positive scale %v", s.Scale)
+	}
+	if math.IsNaN(s.DeadlineS) || math.IsInf(s.DeadlineS, 0) {
+		return fmt.Errorf("workload: job spec has non-finite deadline %v", s.DeadlineS)
 	}
 	if s.DeadlineS < 0 {
 		return fmt.Errorf("workload: job spec has negative deadline %v", s.DeadlineS)

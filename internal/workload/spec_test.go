@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -30,11 +31,37 @@ func TestDecodeJobSpec(t *testing.T) {
 		`{"program":"cfd","scale":-1}`,      // negative scale
 		`{"program":"cfd","dead":1}`,        // unknown field
 		`{"program":"cfd","deadline_s":-5}`, // negative deadline
+		`{"program":"cfd","scale":1e309}`,   // float64 range overflow
+		`{"program":"cfd","deadline_s":1e309}`,
 		`not json`,
 	}
 	for _, in := range bad {
 		if _, err := DecodeJobSpec(strings.NewReader(in)); err == nil {
 			t.Errorf("accepted %s", in)
+		}
+	}
+}
+
+// TestJobSpecValidateNonFinite covers the programmatic (non-JSON)
+// path: JSON cannot encode NaN or Inf, but a Go caller building a
+// JobSpec directly can, and NaN in particular passes a plain `<= 0`
+// sign check.
+func TestJobSpecValidateNonFinite(t *testing.T) {
+	for _, tc := range []JobSpec{
+		{Program: "cfd", Scale: math.NaN()},
+		{Program: "cfd", Scale: math.Inf(1)},
+		{Program: "cfd", Scale: math.Inf(-1)},
+		{Program: "cfd", Scale: 1, DeadlineS: math.NaN()},
+		{Program: "cfd", Scale: 1, DeadlineS: math.Inf(1)},
+		{Program: "cfd", Scale: 1, DeadlineS: math.Inf(-1)},
+	} {
+		spec := tc
+		spec.Normalize()
+		if err := spec.Validate(); err == nil {
+			t.Errorf("Validate accepted non-finite spec %+v", tc)
+		}
+		if _, err := tc.Instance(0, "job-000000"); err == nil {
+			t.Errorf("Instance accepted non-finite spec %+v", tc)
 		}
 	}
 }
