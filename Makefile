@@ -41,16 +41,21 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzPairTimes -fuzztime=$(FUZZTIME) ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzArbitrate -fuzztime=$(FUZZTIME) ./internal/memsys/
 	$(GO) test -run='^$$' -fuzz=FuzzJobSpecJSON -fuzztime=$(FUZZTIME) ./internal/workload/
+	$(GO) test -run='^$$' -fuzz=FuzzAdmissionSpec -fuzztime=$(FUZZTIME) ./internal/admission/
 
 # loadtest drives a self-hosted corund end-to-end with cmd/corunbench
-# (closed loop, journaling to a temp dir) and writes the canonical
-# BENCH_5.json report: throughput, per-endpoint latency quantiles,
-# server-side counter deltas, paired journal micro-benchmarks, and the
-# committed optimization evidence from bench/optimizations_5.json.
+# (closed loop, journaling to a temp dir, a three-tenant mix against
+# WFQ weights and a bounded batch) and writes the canonical
+# BENCH_7.json report: throughput, per-endpoint and per-tenant latency
+# quantiles, server-side counter deltas, paired journal
+# micro-benchmarks, and the committed optimization evidence from
+# bench/optimizations_5.json.
 loadtest:
 	$(GO) run ./cmd/corunbench -mode closed -concurrency 4 \
 		-duration $(LOADTEST_DURATION) -warmup $(LOADTEST_WARMUP) \
-		-microbench -notes bench/optimizations_5.json -out BENCH_5.json
+		-tenants 'team-a=3:high,team-b=2,batch=1:low' \
+		-tenant-weights 'team-a=3,team-b=1,batch=0' -max-batch 8 \
+		-microbench -notes bench/optimizations_5.json -out BENCH_7.json
 
 # verify is the tier-1 gate: everything must be gofmt-clean, compile,
 # vet clean, and pass the full test suite under the race detector.

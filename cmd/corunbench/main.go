@@ -3,7 +3,7 @@
 // arrival rate) or closed-loop (fixed concurrency) — with a
 // configurable job mix drawn from the calibrated benchmark programs,
 // a discarded warmup window, and per-endpoint latency histograms, and
-// emits a machine-readable JSON report (the repo's BENCH_5.json bench
+// emits a machine-readable JSON report (the repo's BENCH_7.json bench
 // trajectory).
 //
 // Usage:
@@ -11,9 +11,11 @@
 //	corunbench [-url http://host:8080] [-mode open|closed]
 //	           [-rate rps] [-concurrency n]
 //	           [-duration dur] [-warmup dur]
-//	           [-mix all|prog[=w],...] [-read-fraction f] [-seed n]
+//	           [-mix all|prog[=w],...] [-tenants name[=share][:prio],...]
+//	           [-read-fraction f] [-seed n]
 //	           [-microbench] [-notes file] [-out file]
 //	           [-policy name] [-cap watts] [-max-queue n]
+//	           [-tenant-queue n] [-tenant-weights name=w,...] [-max-batch n]
 //	           [-epoch-gap dur] [-fsync pol] [-data-dir dir] [-in-memory]
 //
 // With -url it targets a running daemon. Without it, corunbench
@@ -21,6 +23,15 @@
 // temporary data dir (so journal fsync counts are part of the report)
 // unless -in-memory is set — drives it, and drains it cleanly; the
 // flags after -policy configure that instance.
+//
+// -tenants offers a multi-tenant submission mix: each term is a
+// tenant name, its share of submissions, and the priority class its
+// jobs carry (e.g. "team-a=3:high,team-b=1,batch=1:low"); the report
+// then adds per-tenant accept/reject counts and ack-latency
+// quantiles. -tenant-weights, -tenant-queue, and -max-batch configure
+// the self-hosted instance's admission layer (WFQ weights, per-tenant
+// queue bound, and the bounded batch that enables priority
+// preemption).
 //
 // -microbench pairs the HTTP run with in-process testing.Benchmark
 // runs of the journal append hot path (ns/op, B/op, allocs/op).
@@ -43,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"corun/internal/admission"
 	"corun/internal/apu"
 	"corun/internal/journal"
 	"corun/internal/loadgen"
@@ -73,6 +85,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	duration := fs.Duration("duration", 10*time.Second, "measurement window")
 	warmup := fs.Duration("warmup", 2*time.Second, "discarded warmup window")
 	mixFlag := fs.String("mix", "all", "job mix: all, or prog[=weight],... from the calibrated benchmarks")
+	tenantsFlag := fs.String("tenants", "", "tenant mix: name[=share][:priority],... (empty = no tenant fields)")
 	readFrac := fs.Float64("read-fraction", 0.5, "fraction of operations that are reads (plan/status)")
 	seed := fs.Int64("seed", 1, "seed for program choice, scales, and interleaving")
 	micro := fs.Bool("microbench", false, "pair the run with in-process journal micro-benchmarks")
@@ -81,7 +94,10 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	policyFlag := fs.String("policy", "hcs+", "self-hosted instance: epoch policy ("+strings.Join(policy.Names(), " | ")+")")
 	capW := fs.Float64("cap", 15, "self-hosted instance: package power cap in watts")
-	maxQueue := fs.Int("max-queue", 4096, "self-hosted instance: admission queue bound")
+	maxQueue := fs.Int("max-queue", 4096, "self-hosted instance: global admission queue bound")
+	tenantQueue := fs.Int("tenant-queue", 0, "self-hosted instance: per-tenant queue bound (0 = none)")
+	tenantWeights := fs.String("tenant-weights", "", "self-hosted instance: WFQ weights, name=w,... (unlisted tenants weigh 1)")
+	maxBatch := fs.Int("max-batch", 0, "self-hosted instance: jobs claimed per epoch (0 = unbounded, disables preemption)")
 	epochGap := fs.Duration("epoch-gap", 5*time.Millisecond, "self-hosted instance: epoch batching window")
 	fsyncFlag := fs.String("fsync", "always", "self-hosted instance: journal fsync policy")
 	dataDir := fs.String("data-dir", "", "self-hosted instance: journal dir (empty = fresh temp dir)")
@@ -94,10 +110,30 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	tenants, err := loadgen.ParseTenants(*tenantsFlag)
+	if err != nil {
+		return err
+	}
+	weights, err := admission.ParseWeights(*tenantWeights)
+	if err != nil {
+		return err
+	}
 
 	baseURL := *url
 	if baseURL == "" {
-		shutdown, addr, err := selfHost(*policyFlag, *capW, *maxQueue, *epochGap, *fsyncFlag, *dataDir, *inMemory, *seed)
+		shutdown, addr, err := selfHost(hostConfig{
+			policy:        *policyFlag,
+			capW:          *capW,
+			maxQueue:      *maxQueue,
+			tenantQueue:   *tenantQueue,
+			tenantWeights: weights,
+			maxBatch:      *maxBatch,
+			epochGap:      *epochGap,
+			fsync:         *fsyncFlag,
+			dataDir:       *dataDir,
+			inMemory:      *inMemory,
+			seed:          *seed,
+		})
 		if err != nil {
 			return err
 		}
@@ -113,6 +149,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Warmup:       *warmup,
 		Duration:     *duration,
 		Mix:          mix,
+		Tenants:      tenants,
 		ReadFraction: *readFrac,
 		Seed:         *seed,
 	}
@@ -152,20 +189,37 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	return nil
 }
 
+// hostConfig configures the self-hosted corund instance corunbench
+// launches when no -url is given.
+type hostConfig struct {
+	policy        string
+	capW          float64
+	maxQueue      int
+	tenantQueue   int
+	tenantWeights map[string]float64
+	maxBatch      int
+	epochGap      time.Duration
+	fsync         string
+	dataDir       string
+	inMemory      bool
+	seed          int64
+}
+
 // selfHost launches an in-process corund on a loopback port and
 // returns its base URL plus a clean-drain shutdown.
-func selfHost(policyName string, capW float64, maxQueue int, epochGap time.Duration, fsyncName, dataDir string, inMemory bool, seed int64) (func(), string, error) {
-	pol, err := online.ParsePolicy(policyName)
+func selfHost(hc hostConfig) (func(), string, error) {
+	pol, err := online.ParsePolicy(hc.policy)
 	if err != nil {
 		return nil, "", err
 	}
-	fsyncPol, err := journal.ParseFsyncPolicy(fsyncName)
+	fsyncPol, err := journal.ParseFsyncPolicy(hc.fsync)
 	if err != nil {
 		return nil, "", err
 	}
+	dataDir := hc.dataDir
 	var cleanupDir func()
 	switch {
-	case inMemory:
+	case hc.inMemory:
 		dataDir = ""
 	case dataDir == "":
 		tmp, err := os.MkdirTemp("", "corunbench-data-*")
@@ -186,16 +240,19 @@ func selfHost(policyName string, capW float64, maxQueue int, epochGap time.Durat
 	log.Printf("characterized the degradation space in %v", time.Since(start).Round(time.Millisecond))
 
 	s, err := server.New(server.Config{
-		Machine:  mcfg,
-		Mem:      mem,
-		Char:     char,
-		Cap:      units.Watts(capW),
-		Policy:   pol,
-		Seed:     seed,
-		MaxQueue: maxQueue,
-		EpochGap: epochGap,
-		DataDir:  dataDir,
-		Fsync:    fsyncPol,
+		Machine:       mcfg,
+		Mem:           mem,
+		Char:          char,
+		Cap:           units.Watts(hc.capW),
+		Policy:        pol,
+		Seed:          hc.seed,
+		MaxQueue:      hc.maxQueue,
+		TenantQueue:   hc.tenantQueue,
+		TenantWeights: hc.tenantWeights,
+		MaxBatch:      hc.maxBatch,
+		EpochGap:      hc.epochGap,
+		DataDir:       dataDir,
+		Fsync:         fsyncPol,
 	})
 	if err != nil {
 		if cleanupDir != nil {
@@ -217,7 +274,7 @@ func selfHost(policyName string, capW float64, maxQueue int, epochGap time.Durat
 	if dataDir != "" {
 		durability = fmt.Sprintf("journal %s, fsync %s", dataDir, fsyncPol)
 	}
-	log.Printf("self-hosted corund on %s (policy %s, cap %gW, %s)", ln.Addr(), pol, capW, durability)
+	log.Printf("self-hosted corund on %s (policy %s, cap %gW, %s)", ln.Addr(), pol, hc.capW, durability)
 
 	shutdown := func() {
 		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -6,6 +6,7 @@
 //
 //	corund [-addr :8080] [-cap watts] [-policy name]
 //	       [-machine ivybridge|kaveri] [-max-queue n] [-epoch-gap dur]
+//	       [-tenant-queue n] [-tenant-weights tenant=w,...] [-max-batch n]
 //	       [-char file] [-save-char file] [-seed n]
 //	       [-data-dir dir] [-fsync always|interval|never]
 //	       [-journal-retries n] [-retry-base dur] [-retry-max dur]
@@ -16,6 +17,15 @@
 // (hcs+, hcs, optimal, anneal, genetic, random, default, ...);
 // GET /v1/policies lists the live set and POST /v1/policy hot-swaps
 // it.
+//
+// Jobs may carry a tenant and a priority class (low | normal | high);
+// the admission layer drains tenants under weighted fair queueing.
+// -tenant-weights sets per-tenant WFQ weights (unlisted tenants weigh
+// 1; 0 pins a tenant to the starvation floor), -tenant-queue bounds
+// each tenant's queued jobs on top of -max-queue (the 429 body names
+// whichever bound was hit), and -max-batch bounds how many jobs one
+// epoch claims — which is what lets a high-priority arrival preempt
+// the lowest-priority claimed job at the epoch boundary.
 //
 // The micro-benchmark characterization (the offline stage of the
 // paper) runs at startup unless -char points at a file saved earlier
@@ -75,6 +85,7 @@ import (
 	"syscall"
 	"time"
 
+	"corun/internal/admission"
 	"corun/internal/apu"
 	"corun/internal/fault"
 	"corun/internal/journal"
@@ -92,6 +103,9 @@ func main() {
 	policyFlag := flag.String("policy", "hcs+", "epoch scheduling policy: "+strings.Join(policy.Names(), " | "))
 	machine := flag.String("machine", "ivybridge", "machine preset: ivybridge | kaveri")
 	maxQueue := flag.Int("max-queue", 256, "admission control: max queued jobs before 429")
+	tenantQueue := flag.Int("tenant-queue", 0, "admission control: per-tenant queue bound (0 = none)")
+	tenantWeights := flag.String("tenant-weights", "", "weighted fair queueing weights, tenant=w,... (unlisted tenants weigh 1)")
+	maxBatch := flag.Int("max-batch", 0, "jobs claimed per epoch (0 = unbounded; a bound enables priority preemption)")
 	epochGap := flag.Duration("epoch-gap", 50*time.Millisecond, "batching window before each scheduling epoch")
 	charFile := flag.String("char", "", "load the characterization from this file instead of measuring")
 	saveChar := flag.String("save-char", "", "save the measured characterization to this file")
@@ -111,6 +125,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("corund: %v", err)
 	}
+	weights, err := admission.ParseWeights(*tenantWeights)
+	if err != nil {
+		log.Fatalf("corund: -tenant-weights: %v", err)
+	}
+	cfg.TenantWeights = weights
+	cfg.TenantQueue = *tenantQueue
+	cfg.MaxBatch = *maxBatch
 	cfg.JournalRetries = *jlRetries
 	cfg.RetryBase = *retryBase
 	cfg.RetryMax = *retryMax

@@ -1,0 +1,75 @@
+package admission
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAdmissionSpec fuzzes the admission grammar surface — tenant
+// names, priority classes, and the CLI weight string — which all
+// parse attacker-controlled input (API bodies, journal records,
+// flags). Invariants: never panic, accepted values are canonical and
+// re-parse to the same result, rejected weights never half-populate.
+func FuzzAdmissionSpec(f *testing.F) {
+	seeds := []string{
+		"", "default", "team-a", "team_b.c", "A0-9._x",
+		"low", "normal", "high", "HIGH", " low ",
+		"a=1", "a=1,b=3", "batch=0,interactive=2.5",
+		"a=1,a=2", "a=", "=1", "a=NaN", "a=+Inf", "a=-1", "a=1e300",
+		strings.Repeat("t", 64), strings.Repeat("t", 65),
+		"bad tenant=1", "a=1,,b=2", "p=0.0000001",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		// Tenant grammar: valid names must survive canonicalization
+		// and weight-map round trips.
+		if err := ValidateTenant(s); err == nil {
+			canon := CanonicalTenant(s)
+			if canon == "" {
+				t.Fatalf("CanonicalTenant(%q) returned empty", s)
+			}
+			if err := ValidateTenant(canon); err != nil {
+				t.Fatalf("canonical tenant %q rejected: %v", canon, err)
+			}
+			if s != "" && canon != s {
+				t.Fatalf("CanonicalTenant(%q) = %q, want identity", s, canon)
+			}
+			if _, err := New(Config{Weights: map[string]float64{canon: 1}}); err != nil {
+				t.Fatalf("valid tenant %q rejected by New: %v", canon, err)
+			}
+		}
+
+		// Priority grammar: accepted classes are valid, stringify to a
+		// form that re-parses to the same class.
+		if c, err := ParseClass(s); err == nil {
+			if !c.Valid() {
+				t.Fatalf("ParseClass(%q) = invalid class %d", s, c)
+			}
+			again, err := ParseClass(c.String())
+			if err != nil || again != c {
+				t.Fatalf("class %v did not round-trip: %v %v", c, again, err)
+			}
+		}
+
+		// Weight grammar: accepted maps must build a queue and have
+		// only finite non-negative weights; re-rendering the map and
+		// re-parsing must be stable.
+		w, err := ParseWeights(s)
+		if err != nil {
+			return
+		}
+		for name, v := range w {
+			if ValidateTenant(name) != nil || name == "" {
+				t.Fatalf("ParseWeights(%q) accepted bad tenant %q", s, name)
+			}
+			if v < 0 || !finite(v) {
+				t.Fatalf("ParseWeights(%q) accepted bad weight %v", s, v)
+			}
+		}
+		if _, err := New(Config{Weights: w}); err != nil {
+			t.Fatalf("ParseWeights(%q) output rejected by New: %v", s, err)
+		}
+	})
+}

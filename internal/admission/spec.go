@@ -1,0 +1,91 @@
+package admission
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseClass maps the wire form of a priority to its class. The empty
+// string is ClassNormal: priority is optional on the API and absent
+// from every journal record written before the field existed.
+func ParseClass(s string) (Class, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "normal":
+		return ClassNormal, nil
+	case "low":
+		return ClassLow, nil
+	case "high":
+		return ClassHigh, nil
+	}
+	return ClassNormal, fmt.Errorf("admission: unknown priority %q (want low, normal, or high)", s)
+}
+
+// maxTenantLen bounds tenant names; they become Prometheus label
+// values and journal fields, so the grammar stays deliberately small.
+const maxTenantLen = 64
+
+// ValidateTenant checks the tenant grammar: empty (meaning
+// DefaultTenant) or 1..64 bytes of [A-Za-z0-9._-].
+func ValidateTenant(s string) error {
+	if s == "" {
+		return nil
+	}
+	if len(s) > maxTenantLen {
+		return fmt.Errorf("admission: tenant longer than %d bytes", maxTenantLen)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("admission: tenant %q: invalid byte %q (allowed: A-Z a-z 0-9 . _ -)", s, c)
+		}
+	}
+	return nil
+}
+
+// CanonicalTenant maps the empty tenant to DefaultTenant.
+func CanonicalTenant(s string) string {
+	if s == "" {
+		return DefaultTenant
+	}
+	return s
+}
+
+// ParseWeights parses the CLI weight grammar "tenant=weight[,...]",
+// e.g. "batch=1,interactive=3". Weights must be finite and >= 0; a 0
+// pins the tenant to the MinWeight starvation floor.
+func ParseWeights(s string) (map[string]float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, term := range strings.Split(s, ",") {
+		name, wstr, ok := strings.Cut(strings.TrimSpace(term), "=")
+		name = strings.TrimSpace(name)
+		if !ok {
+			return nil, fmt.Errorf("admission: weights: term %q is not tenant=weight", term)
+		}
+		if name == "" {
+			return nil, fmt.Errorf("admission: weights: empty tenant in %q", term)
+		}
+		if err := ValidateTenant(name); err != nil {
+			return nil, fmt.Errorf("admission: weights: %w", err)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(wstr), 64)
+		if err != nil || math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("admission: weights: bad weight %q for tenant %q", wstr, name)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("admission: weights: duplicate tenant %q", name)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }

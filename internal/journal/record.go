@@ -48,6 +48,8 @@ type JobRecord struct {
 	Scale       float64   `json:"scale,omitempty"`
 	Label       string    `json:"label,omitempty"`
 	DeadlineS   float64   `json:"deadline_s,omitempty"`
+	Tenant      string    `json:"tenant,omitempty"`
+	Priority    string    `json:"priority,omitempty"`
 	SubmittedAt time.Time `json:"submitted_at"`
 	ArrivedSimS float64   `json:"arrived_sim_s,omitempty"`
 

@@ -61,6 +61,55 @@ func TestRecordRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRecordTenantFields covers the admission fields added for
+// multi-tenant scheduling: they round-trip when set and, critically,
+// old journals written before the fields existed decode unchanged —
+// the fields are omitempty, so a record without tenant/priority
+// re-encodes byte-for-byte and replays with both fields empty.
+func TestRecordTenantFields(t *testing.T) {
+	r := jobRecord("job-000001")
+	r.Job.Tenant = "team-a"
+	r.Job.Priority = "high"
+	buf, err := AppendRecord(nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeRecord(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Job.Tenant != "team-a" || got.Job.Priority != "high" {
+		t.Fatalf("round trip lost admission fields: %+v", got.Job)
+	}
+
+	// A pre-field payload (exactly what an old daemon wrote: no tenant,
+	// no priority keys) decodes with empty admission fields, and
+	// re-encoding it reproduces the original frame bit-for-bit.
+	old := jobRecord("job-000002")
+	old.Seq = 7
+	oldFrame, err := AppendRecord(nil, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(oldFrame), "tenant") || strings.Contains(string(oldFrame), "priority") {
+		t.Fatalf("empty admission fields leaked into the payload: %s", oldFrame)
+	}
+	dec, _, err := DecodeRecord(oldFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Job.Tenant != "" || dec.Job.Priority != "" {
+		t.Fatalf("pre-field record decoded with admission fields: %+v", dec.Job)
+	}
+	again, err := AppendRecord(nil, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, oldFrame) {
+		t.Fatalf("pre-field record did not re-encode bit-for-bit:\n got %s\nwant %s", again, oldFrame)
+	}
+}
+
 func TestDecodeTornAndCorrupt(t *testing.T) {
 	frame, err := AppendRecord(nil, capRecord(15))
 	if err != nil {

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"corun/internal/admission"
 	"corun/internal/promtext"
 	"corun/internal/workload"
 )
@@ -94,6 +95,63 @@ func ParseMix(s string) ([]MixEntry, error) {
 	return out, nil
 }
 
+// TenantEntry weights one tenant in the submitted mix: the share of
+// submissions issued under its name (the client-side offered mix, not
+// the server-side WFQ weight) and the priority class those
+// submissions carry.
+type TenantEntry struct {
+	Name     string
+	Weight   float64
+	Priority string // "" | low | normal | high
+}
+
+// ParseTenants parses a tenant-mix spec: a comma list of
+// name[=share][:priority] terms, e.g. "team-a=3:high,team-b,batch=1:low".
+// An empty spec means no tenant fields are sent at all (every job
+// lands on the server's default tenant). Shares must be positive —
+// this is the offered mix, so a zero share would just mean "absent" —
+// and priorities must parse as admission classes.
+func ParseTenants(s string) ([]TenantEntry, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []TenantEntry
+	seen := map[string]bool{}
+	for _, term := range strings.Split(s, ",") {
+		rest, prio, hasPrio := strings.Cut(strings.TrimSpace(term), ":")
+		name, wstr, hasW := strings.Cut(strings.TrimSpace(rest), "=")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("loadgen: tenants: empty name in %q", term)
+		}
+		if err := admission.ValidateTenant(name); err != nil {
+			return nil, fmt.Errorf("loadgen: tenants: %w", err)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("loadgen: tenants: duplicate tenant %q", name)
+		}
+		seen[name] = true
+		e := TenantEntry{Name: name, Weight: 1}
+		if hasW {
+			w, err := strconv.ParseFloat(strings.TrimSpace(wstr), 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("loadgen: tenants: bad share %q for %s", wstr, name)
+			}
+			e.Weight = w
+		}
+		if hasPrio {
+			c, err := admission.ParseClass(prio)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: tenants: %w", err)
+			}
+			e.Priority = c.String()
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
 // Config configures one harness run.
 type Config struct {
 	// BaseURL is the corund instance under test, e.g. http://127.0.0.1:8080.
@@ -116,6 +174,12 @@ type Config struct {
 	// Mix is the submitted job mix; empty means every benchmark,
 	// equally weighted.
 	Mix []MixEntry
+
+	// Tenants is the submitted tenant mix: each submission carries one
+	// entry's tenant name and priority, drawn by weight. Empty sends no
+	// tenant fields (every job lands on the server's default tenant),
+	// and the report omits its per-tenant section.
+	Tenants []TenantEntry
 
 	// ReadFraction of operations are reads (GET /v1/plan and
 	// GET /v1/jobs/{id}, alternating) instead of submissions.
@@ -158,6 +222,17 @@ func (c *Config) validate() error {
 	if c.ReadFraction < 0 || c.ReadFraction > 1 {
 		return fmt.Errorf("loadgen: read fraction %v outside [0,1]", c.ReadFraction)
 	}
+	for _, te := range c.Tenants {
+		if err := admission.ValidateTenant(te.Name); err != nil {
+			return fmt.Errorf("loadgen: tenants: %w", err)
+		}
+		if te.Weight <= 0 {
+			return fmt.Errorf("loadgen: tenants: non-positive share %v for %s", te.Weight, te.Name)
+		}
+		if _, err := admission.ParseClass(te.Priority); err != nil {
+			return fmt.Errorf("loadgen: tenants: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -173,12 +248,27 @@ func newEndpointStats() *endpointStats {
 	return &endpointStats{hist: promtext.NewLogHistogram(10e-6, 60, 1.1)}
 }
 
+// tenantStats accumulates one tenant's submission outcomes and ack
+// latencies over the measurement window, so the report can show each
+// tenant's experienced quality of service (the WFQ question: did the
+// low-weight tenant wait longer to get in?).
+type tenantStats struct {
+	hist     *promtext.LogHistogram
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+func newTenantStats() *tenantStats {
+	return &tenantStats{hist: promtext.NewLogHistogram(10e-6, 60, 1.1)}
+}
+
 // runner is one harness run's shared state.
 type runner struct {
 	cfg       Config
 	client    *http.Client
 	measuring atomic.Bool
 	eps       map[string]*endpointStats
+	tstats    map[string]*tenantStats // keyed by tenant name; nil without Config.Tenants
 
 	accepted atomic.Uint64 // 202 submissions in the window
 	rejected atomic.Uint64 // 429/503 shed responses in the window
@@ -210,6 +300,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	if r.client == nil {
 		r.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if len(cfg.Tenants) > 0 {
+		r.tstats = make(map[string]*tenantStats, len(cfg.Tenants))
+		for _, te := range cfg.Tenants {
+			r.tstats[te.Name] = newTenantStats()
+		}
 	}
 	mix := cfg.Mix
 	if len(mix) == 0 {
@@ -247,6 +343,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		ep.count.Store(0)
 		ep.errors.Store(0)
 	}
+	for _, ts := range r.tstats {
+		ts.hist.Reset()
+		ts.accepted.Store(0)
+		ts.rejected.Store(0)
+	}
 	r.accepted.Store(0)
 	r.rejected.Store(0)
 	r.dropped.Store(0)
@@ -273,6 +374,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			DurationS:    cfg.Duration.Seconds(),
 			MeasuredS:    elapsed.Seconds(),
 			Mix:          formatMix(mix),
+			Tenants:      formatTenants(cfg.Tenants),
 			ReadFraction: cfg.ReadFraction,
 			Seed:         cfg.Seed,
 		},
@@ -290,6 +392,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	rep.ThroughputRPS = round3(float64(ops) / elapsed.Seconds())
 	rep.SubmitThroughputRPS = round3(float64(rep.Accepted) / elapsed.Seconds())
+	if len(cfg.Tenants) > 0 {
+		rep.Tenants = map[string]TenantReport{}
+		for _, te := range cfg.Tenants {
+			rep.Tenants[te.Name] = tenantReport(te, r.tstats[te.Name])
+		}
+	}
 	if scrapeErr == nil {
 		rep.Server = serverStats(preScrape, postScrape)
 	}
@@ -382,6 +490,13 @@ func (r *runner) submit(ctx context.Context, rng *rand.Rand, mix []MixEntry) {
 		pick -= m.Weight
 	}
 	spec := workload.JobSpec{Program: prog, Scale: 0.8 + 0.4*rng.Float64(), Label: "bench"}
+	var ts *tenantStats
+	if tenants := r.cfg.Tenants; len(tenants) > 0 {
+		te := pickTenant(rng, tenants)
+		spec.Tenant = te.Name
+		spec.Priority = te.Priority
+		ts = r.tstats[te.Name]
+	}
 	body, _ := json.Marshal(spec)
 
 	ep := r.eps[EndpointSubmit]
@@ -409,6 +524,10 @@ func (r *runner) submit(ctx context.Context, rng *rand.Rand, mix []MixEntry) {
 			ep.hist.Observe(lat.Seconds())
 			ep.count.Add(1)
 			r.accepted.Add(1)
+			if ts != nil {
+				ts.hist.Observe(lat.Seconds())
+				ts.accepted.Add(1)
+			}
 		}
 		var j struct {
 			ID string `json:"id"`
@@ -419,10 +538,29 @@ func (r *runner) submit(ctx context.Context, rng *rand.Rand, mix []MixEntry) {
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		if measuring {
 			r.rejected.Add(1)
+			if ts != nil {
+				ts.rejected.Add(1)
+			}
 		}
 	default:
 		r.recordErr(ep)
 	}
+}
+
+// pickTenant draws one tenant-mix entry by weight.
+func pickTenant(rng *rand.Rand, tenants []TenantEntry) TenantEntry {
+	total := 0.0
+	for _, te := range tenants {
+		total += te.Weight
+	}
+	pick := rng.Float64() * total
+	for _, te := range tenants {
+		if pick < te.Weight {
+			return te
+		}
+		pick -= te.Weight
+	}
+	return tenants[len(tenants)-1]
 }
 
 func (r *runner) getPlan(ctx context.Context) {
@@ -574,6 +712,43 @@ func serverStats(pre, post map[string]float64) *ServerStats {
 		QueueDepth:     post["corund_queue_depth"],
 		SimClockS:      post["corund_sim_clock_seconds"],
 	}
+}
+
+func tenantReport(te TenantEntry, ts *tenantStats) TenantReport {
+	tr := TenantReport{
+		Share:    te.Weight,
+		Priority: te.Priority,
+		Accepted: ts.accepted.Load(),
+		Rejected: ts.rejected.Load(),
+	}
+	if tr.Priority == "" {
+		tr.Priority = "normal"
+	}
+	if tr.Accepted > 0 {
+		h := ts.hist
+		tr.MeanMs = round3(h.Mean() * 1e3)
+		tr.P50Ms = round3(h.Quantile(0.5) * 1e3)
+		tr.P90Ms = round3(h.Quantile(0.9) * 1e3)
+		tr.P99Ms = round3(h.Quantile(0.99) * 1e3)
+		tr.P999Ms = round3(h.Quantile(0.999) * 1e3)
+		tr.MaxMs = round3(h.Max() * 1e3)
+	}
+	return tr
+}
+
+func formatTenants(tenants []TenantEntry) string {
+	if len(tenants) == 0 {
+		return ""
+	}
+	terms := make([]string, len(tenants))
+	for i, te := range tenants {
+		terms[i] = fmt.Sprintf("%s=%g", te.Name, te.Weight)
+		if te.Priority != "" {
+			terms[i] += ":" + te.Priority
+		}
+	}
+	sort.Strings(terms)
+	return strings.Join(terms, ",")
 }
 
 func formatMix(mix []MixEntry) string {

@@ -47,12 +47,17 @@ func stubCorund(t *testing.T) (*httptest.Server, *atomic.Uint64) {
 // and server-side counter deltas that match the stub's accounting.
 func TestRunClosedLoopSmoke(t *testing.T) {
 	srv, submits := stubCorund(t)
+	tenants, err := ParseTenants("team-a=3:high,team-b=1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	rep, err := Run(context.Background(), Config{
 		BaseURL:      srv.URL,
 		Mode:         ModeClosed,
 		Concurrency:  4,
 		Warmup:       50 * time.Millisecond,
 		Duration:     300 * time.Millisecond,
+		Tenants:      tenants,
 		ReadFraction: 0.5,
 		Seed:         42,
 	})
@@ -60,7 +65,7 @@ func TestRunClosedLoopSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if rep.Bench != 5 || rep.GeneratedBy != "corunbench" {
+	if rep.Bench != 7 || rep.GeneratedBy != "corunbench" {
 		t.Errorf("report identity: bench=%d generated_by=%q", rep.Bench, rep.GeneratedBy)
 	}
 	if rep.Accepted == 0 {
@@ -95,6 +100,35 @@ func TestRunClosedLoopSmoke(t *testing.T) {
 		if ep.MaxMs < ep.P50Ms {
 			t.Errorf("endpoint %q max %v below p50 %v", name, ep.MaxMs, ep.P50Ms)
 		}
+	}
+
+	// Per-tenant sections: both tenants submitted, the 3:1 offered mix
+	// shows up directionally, and quantiles are monotone where present.
+	if rep.Config.Tenants != "team-a=3:high,team-b=1" {
+		t.Errorf("tenant mix echo %q", rep.Config.Tenants)
+	}
+	for _, name := range []string{"team-a", "team-b"} {
+		tr, ok := rep.Tenants[name]
+		if !ok {
+			t.Fatalf("tenant %q missing from report", name)
+		}
+		if tr.Accepted == 0 {
+			t.Errorf("tenant %q recorded no accepted submissions", name)
+			continue
+		}
+		if !(tr.P50Ms > 0 && tr.P50Ms <= tr.P90Ms && tr.P90Ms <= tr.P99Ms && tr.P99Ms <= tr.P999Ms) {
+			t.Errorf("tenant %q quantiles not monotone: p50=%v p90=%v p99=%v p999=%v",
+				name, tr.P50Ms, tr.P90Ms, tr.P99Ms, tr.P999Ms)
+		}
+	}
+	if a, b := rep.Tenants["team-a"], rep.Tenants["team-b"]; a.Accepted <= b.Accepted {
+		t.Errorf("3:1 offered mix inverted: team-a %d <= team-b %d", a.Accepted, b.Accepted)
+	}
+	if p := rep.Tenants["team-a"].Priority; p != "high" {
+		t.Errorf("team-a priority %q, want high", p)
+	}
+	if got := rep.Tenants["team-a"].Accepted + rep.Tenants["team-b"].Accepted; got != rep.Accepted {
+		t.Errorf("tenant accepted sum %d != total %d", got, rep.Accepted)
 	}
 
 	if rep.Server == nil {
@@ -168,6 +202,43 @@ func TestParseMix(t *testing.T) {
 	}
 }
 
+func TestParseTenants(t *testing.T) {
+	if got, err := ParseTenants(""); err != nil || got != nil {
+		t.Fatalf("ParseTenants(\"\") = %v, %v", got, err)
+	}
+	got, err := ParseTenants("team-a=3:high, team-b, batch=1:low")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TenantEntry{
+		{Name: "team-a", Weight: 3, Priority: "high"},
+		{Name: "team-b", Weight: 1},
+		{Name: "batch", Weight: 1, Priority: "low"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("tenants = %+v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tenants[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{
+		"=3",                    // empty name
+		"a b",                   // invalid tenant name
+		"a=0",                   // zero share
+		"a=-1",                  // negative share
+		"a=x",                   // unparsable share
+		"a:urgent",              // unknown priority
+		"a=1,a=2",               // duplicate tenant
+		strings.Repeat("x", 65), // name over the admission bound
+	} {
+		if _, err := ParseTenants(bad); err == nil {
+			t.Errorf("ParseTenants(%q) accepted", bad)
+		}
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	base := Config{BaseURL: "http://x", Mode: ModeClosed, Concurrency: 1, Duration: time.Second}
 	if err := base.validate(); err != nil {
@@ -181,6 +252,9 @@ func TestConfigValidate(t *testing.T) {
 		"no duration":   func(c *Config) { c.Duration = 0 },
 		"neg warmup":    func(c *Config) { c.Warmup = -time.Second },
 		"read frac > 1": func(c *Config) { c.ReadFraction = 1.5 },
+		"bad tenant":    func(c *Config) { c.Tenants = []TenantEntry{{Name: "a b", Weight: 1}} },
+		"zero share":    func(c *Config) { c.Tenants = []TenantEntry{{Name: "a", Weight: 0}} },
+		"bad priority":  func(c *Config) { c.Tenants = []TenantEntry{{Name: "a", Weight: 1, Priority: "urgent"}} },
 	} {
 		c := base
 		mut(&c)

@@ -7,10 +7,11 @@ import (
 	"os"
 )
 
-// benchIndex stamps the report with the bench-trajectory index this
-// harness was introduced at; BENCH_<benchIndex>.json is the canonical
-// output name.
-const benchIndex = 5
+// benchIndex stamps the report with the bench-trajectory index of the
+// harness's current schema; BENCH_<benchIndex>.json is the canonical
+// output name. Bumped to 7 when the multi-tenant mix and per-tenant
+// latency sections were added.
+const benchIndex = 7
 
 // RunConfig echoes the harness configuration into the report so a
 // future run can be compared like-for-like.
@@ -23,6 +24,7 @@ type RunConfig struct {
 	DurationS    float64 `json:"duration_s"`
 	MeasuredS    float64 `json:"measured_s"`
 	Mix          string  `json:"mix"`
+	Tenants      string  `json:"tenants,omitempty"`
 	ReadFraction float64 `json:"read_fraction"`
 	Seed         int64   `json:"seed"`
 }
@@ -39,6 +41,23 @@ type EndpointReport struct {
 	P99Ms  float64 `json:"p99_ms,omitempty"`
 	P999Ms float64 `json:"p999_ms,omitempty"`
 	MaxMs  float64 `json:"max_ms,omitempty"`
+}
+
+// TenantReport is one tenant's measurement window: its configured
+// share of the offered mix, the priority its submissions carried, the
+// accept/reject split, and the ack-latency quantiles — the per-tenant
+// answer to "who got in, and how long did they wait".
+type TenantReport struct {
+	Share    float64 `json:"share"`
+	Priority string  `json:"priority"`
+	Accepted uint64  `json:"accepted"`
+	Rejected uint64  `json:"rejected"`
+	MeanMs   float64 `json:"mean_ms,omitempty"`
+	P50Ms    float64 `json:"p50_ms,omitempty"`
+	P90Ms    float64 `json:"p90_ms,omitempty"`
+	P99Ms    float64 `json:"p99_ms,omitempty"`
+	P999Ms   float64 `json:"p999_ms,omitempty"`
+	MaxMs    float64 `json:"max_ms,omitempty"`
 }
 
 // ServerStats is the daemon's own accounting over the measurement
@@ -80,7 +99,7 @@ type Optimization struct {
 	Source      string  `json:"source"`
 }
 
-// Report is the harness's machine-readable output (BENCH_5.json).
+// Report is the harness's machine-readable output (BENCH_7.json).
 type Report struct {
 	Bench       int       `json:"bench"`
 	GeneratedBy string    `json:"generated_by"`
@@ -96,6 +115,7 @@ type Report struct {
 	Dropped             uint64  `json:"dropped,omitempty"`
 
 	Endpoints map[string]EndpointReport `json:"endpoints"`
+	Tenants   map[string]TenantReport   `json:"tenants,omitempty"`
 	Server    *ServerStats              `json:"server,omitempty"`
 
 	Microbench    map[string]MicroResult `json:"microbench,omitempty"`

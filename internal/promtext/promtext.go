@@ -192,6 +192,67 @@ func (v *CounterVec) write(w io.Writer) error {
 	return nil
 }
 
+// GaugeVec is a gauge family partitioned by one label.
+type GaugeVec struct {
+	nm, hp, label string
+	mu            sync.Mutex
+	vals          map[string]float64
+}
+
+// NewGaugeVec registers a one-label gauge family.
+func (r *Registry) NewGaugeVec(name, help, label string) *GaugeVec {
+	if !labelRe.MatchString(label) {
+		panic(fmt.Sprintf("promtext: invalid label name %q", label))
+	}
+	v := &GaugeVec{nm: name, hp: help, label: label, vals: map[string]float64{}}
+	r.register(v)
+	return v
+}
+
+// Set replaces the value for one label value, creating it if needed.
+func (v *GaugeVec) Set(labelValue string, val float64) {
+	v.mu.Lock()
+	v.vals[labelValue] = val
+	v.mu.Unlock()
+}
+
+// Add shifts the value for one label value.
+func (v *GaugeVec) Add(labelValue string, delta float64) {
+	v.mu.Lock()
+	v.vals[labelValue] += delta
+	v.mu.Unlock()
+}
+
+// Value returns the value for one label value.
+func (v *GaugeVec) Value(labelValue string) float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.vals[labelValue]
+}
+
+func (v *GaugeVec) name() string { return v.nm }
+func (v *GaugeVec) help() string { return v.hp }
+func (v *GaugeVec) typ() string  { return "gauge" }
+func (v *GaugeVec) write(w io.Writer) error {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.vals))
+	for k := range v.vals {
+		keys = append(keys, k)
+	}
+	vals := make(map[string]float64, len(v.vals))
+	for k, val := range v.vals {
+		vals[k] = val
+	}
+	v.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", v.nm, v.label, escapeLabel(k), formatFloat(vals[k])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Gauge is a value that can go up and down.
 type Gauge struct {
 	nm, hp string

@@ -77,6 +77,44 @@ func TestRegistryRendersTextFormat(t *testing.T) {
 	}
 }
 
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("tenant_queued", "Queued jobs by tenant.", "tenant")
+	v.Set("team-a", 5)
+	v.Set("team-a", 3) // Set replaces, unlike a counter
+	v.Add("team-b", 2)
+	v.Add("team-b", -1)
+	v.Set("zzz", 0)
+
+	if got := v.Value("team-a"); got != 3 {
+		t.Fatalf("Value(team-a) = %v, want 3", got)
+	}
+	if got := v.Value("unset"); got != 0 {
+		t.Fatalf("Value(unset) = %v, want 0", got)
+	}
+
+	var buf strings.Builder
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := []string{
+		"# TYPE tenant_queued gauge",
+		`tenant_queued{tenant="team-a"} 3`,
+		`tenant_queued{tenant="team-b"} 1`,
+		`tenant_queued{tenant="zzz"} 0`,
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w+"\n") {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+	// Label values render in sorted order for a stable exposition.
+	if strings.Index(out, `tenant="team-a"`) > strings.Index(out, `tenant="team-b"`) {
+		t.Errorf("label values out of order:\n%s", out)
+	}
+}
+
 func TestSummary(t *testing.T) {
 	r := NewRegistry()
 	s := r.NewSummary("append_seconds", "Append latency.", []float64{0.5, 0.9, 0.99})

@@ -21,20 +21,23 @@ import (
 )
 
 // checkJSONError asserts one error response carries the JSON
-// Content-Type and a JSON object body with the given key.
-func checkJSONError(t *testing.T, name string, h http.Header, body, key string) {
+// Content-Type and a JSON object body with the given key. It returns
+// the decoded body so callers can assert additional fields (the 429
+// body also names the exhausted bound).
+func checkJSONError(t *testing.T, name string, h http.Header, body, key string) map[string]any {
 	t.Helper()
 	if ct := h.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
 		t.Errorf("%s: Content-Type %q, want application/json", name, ct)
 	}
-	var m map[string]string
+	var m map[string]any
 	if err := json.Unmarshal([]byte(body), &m); err != nil {
 		t.Errorf("%s: body is not a JSON object: %v (%q)", name, err, body)
-		return
+		return nil
 	}
-	if m[key] == "" {
+	if s, _ := m[key].(string); s == "" {
 		t.Errorf("%s: body %q missing %q", name, body, key)
 	}
+	return m
 }
 
 func TestErrorResponsesAreJSON(t *testing.T) {
@@ -90,9 +93,14 @@ func TestErrorResponsesAreJSON(t *testing.T) {
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("queue full -> %d: %s", code, body)
 	}
-	checkJSONError(t, "429 queue full", h, body, "error")
+	m := checkJSONError(t, "429 queue full", h, body, "error")
 	if h.Get("Retry-After") == "" {
 		t.Error("429 queue full: no Retry-After")
+	}
+	// The body names the exhausted bound: MaxQueue=1 is the global one
+	// here, hit by the default tenant.
+	if m["bound"] != "global" || m["tenant"] != "default" || m["limit"] != float64(1) {
+		t.Errorf("429 body missing bound details: %v", m)
 	}
 
 	// 503: draining, on both submission and readiness.

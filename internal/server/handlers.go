@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"corun/internal/admission"
 	"corun/internal/online"
 	"corun/internal/policy"
 	"corun/internal/units"
@@ -124,6 +125,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.shedErr(w, err)
 		return
 	case errors.Is(err, ErrQueueFull):
+		// The 429 names the exhausted bound (global vs tenant) and
+		// hints Retry-After from the submitting tenant's own drain
+		// rate, not the global epoch latency: a throttled tenant's
+		// backoff must not track how fast *other* tenants drain.
+		var full *admission.FullError
+		if errors.As(err, &full) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.tenantRetryAfterSeconds(full.Tenant)))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":  err.Error(),
+				"bound":  full.Scope,
+				"tenant": full.Tenant,
+				"limit":  full.Limit,
+			})
+			return
+		}
 		s.retryHeader(w)
 		writeErr(w, http.StatusTooManyRequests, err)
 		return

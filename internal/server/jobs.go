@@ -38,6 +38,12 @@ type Job struct {
 	State       JobState  `json:"state"`
 	SubmittedAt time.Time `json:"submitted_at"`
 
+	// Tenant and Priority are the job's admission coordinates: the
+	// tenant queue it waited in and its priority class. Empty only on
+	// jobs recovered from journals written before the fields existed.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
+
 	// Epoch is the 1-based scheduling round that served the job; 0
 	// while queued.
 	Epoch int `json:"epoch,omitempty"`

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"corun/internal/admission"
 	"corun/internal/fault"
 	"corun/internal/journal"
 	"corun/internal/online"
@@ -87,12 +88,25 @@ func (s *Server) openJournal() error {
 		if !j.State.Terminal() {
 			// The previous process acknowledged the job but never
 			// finished it; any in-flight epoch is gone, so it starts
-			// over from the queue.
+			// over from the queue. Jobs restore through the admission
+			// layer in record (submission) order, which rebuilds each
+			// tenant's FIFO and reassigns the WFQ virtual-time tags in
+			// arrival order — so the first epoch after a crash selects
+			// by priority and fairness, not by raw record order.
+			// Restore bypasses the queue bounds: every journaled ack
+			// must be honoured even if bounds shrank between runs.
 			j.State = JobQueued
 			j.Epoch = 0
 			j.StartedSimS = 0
 			j.PredictedFinishSimS = 0
-			s.queue = append(s.queue, j)
+			class, cerr := admission.ParseClass(j.Priority)
+			if cerr != nil {
+				class = admission.ClassNormal // tolerant replay, like orphan transitions
+			}
+			s.adm.Restore(admission.Entry{
+				ID: j.ID, Tenant: j.Tenant, Class: class,
+				EnqueuedAt: j.SubmittedAt, Payload: j,
+			})
 			requeued++
 		}
 		s.jobs[j.ID] = j
@@ -103,7 +117,7 @@ func (s *Server) openJournal() error {
 	}
 	s.simClock = units.Seconds(st.SimClockS)
 
-	s.m.queueDepth.Set(float64(len(s.queue)))
+	s.syncQueueGauges()
 	s.m.simClock.Set(float64(s.simClock))
 	s.m.jlRecovered.Set(float64(requeued))
 	s.m.jlTruncated.Set(float64(stats.TruncatedTailBytes))
@@ -197,6 +211,8 @@ func recordFromJob(j *Job) *journal.JobRecord {
 		Scale:               j.Scale,
 		Label:               j.Label,
 		DeadlineS:           j.DeadlineS,
+		Tenant:              j.Tenant,
+		Priority:            j.Priority,
 		SubmittedAt:         j.SubmittedAt,
 		ArrivedSimS:         j.ArrivedSimS,
 		State:               string(j.State),
@@ -223,6 +239,8 @@ func jobFromRecord(jr *journal.JobRecord) *Job {
 		Scale:               jr.Scale,
 		Label:               jr.Label,
 		DeadlineS:           jr.DeadlineS,
+		Tenant:              jr.Tenant,
+		Priority:            jr.Priority,
 		State:               JobState(jr.State),
 		SubmittedAt:         jr.SubmittedAt,
 		Epoch:               jr.Epoch,
@@ -234,11 +252,16 @@ func jobFromRecord(jr *journal.JobRecord) *Job {
 		Device:              jr.Device,
 		Partner:             jr.Partner,
 		Error:               jr.Error,
+		// The spec is rebuilt verbatim, NOT normalized: a record from a
+		// journal written before the tenant/priority fields existed must
+		// replay bit-for-bit, with both fields empty.
 		spec: workload.JobSpec{
 			Program:   jr.Program,
 			Scale:     jr.Scale,
 			Label:     jr.Label,
 			DeadlineS: jr.DeadlineS,
+			Tenant:    jr.Tenant,
+			Priority:  jr.Priority,
 		},
 	}
 	if jr.DeadlineMet != nil {

@@ -48,6 +48,15 @@ type metrics struct {
 	shed          *promtext.Counter
 	faultHits     *promtext.CounterVec
 	faultInjected *promtext.CounterVec
+
+	// Multi-tenant admission instrumentation: per-tenant queue depth,
+	// admissions, and rejections, plus the preemption count and the
+	// starvation signal (age of the oldest queued job).
+	tenantQueued   *promtext.GaugeVec
+	tenantAdmitted *promtext.CounterVec
+	tenantRejected *promtext.CounterVec
+	preemptions    *promtext.Counter
+	oldestWait     *promtext.Gauge
 }
 
 func newMetrics() *metrics {
@@ -118,6 +127,16 @@ func newMetrics() *metrics {
 			"Failpoint hits at armed sites, by site.", "site"),
 		faultInjected: reg.NewCounterVec("corund_fault_injections_total",
 			"Failpoint hits on which a fault was injected, by site.", "site"),
+		tenantQueued: reg.NewGaugeVec("corund_tenant_queued",
+			"Jobs admitted but not yet claimed by an epoch, by tenant.", "tenant"),
+		tenantAdmitted: reg.NewCounterVec("corund_tenant_admitted_total",
+			"Jobs accepted by POST /v1/jobs, by tenant.", "tenant"),
+		tenantRejected: reg.NewCounterVec("corund_tenant_rejected_total",
+			"Submissions rejected by a full queue bound, by tenant.", "tenant"),
+		preemptions: reg.NewCounter("corund_preemptions_total",
+			"Claimed batch members requeued at an epoch boundary for a higher-priority arrival."),
+		oldestWait: reg.NewGauge("corund_oldest_waiting_job_age_seconds",
+			"Age of the oldest queued job (0 when the queue is empty); the starvation signal."),
 	}
 	// Pre-register every policy's series so dashboards see zeros
 	// instead of absent series before the first epoch.

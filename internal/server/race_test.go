@@ -192,6 +192,103 @@ func TestRandomPolicySubmissionRace(t *testing.T) {
 	}
 }
 
+// TestMultiTenantConcurrency hammers the admission layer from several
+// tenants at once — distinct weights, mixed priorities, a bounded
+// batch so the preemption path runs concurrently with submissions —
+// and cross-checks the per-tenant accounting afterwards. Under -race
+// this pins that the WFQ state, tenant gauges, and preemption counter
+// are only ever touched under the server's lock.
+func TestMultiTenantConcurrency(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.EpochGap = 2 * time.Millisecond
+		c.MaxQueue = 10_000
+		c.MaxBatch = 3
+		c.TenantQueue = 5_000
+		c.TenantWeights = map[string]float64{"team-a": 3, "team-b": 1, "batch": 0}
+	})
+	s.Start(context.Background())
+
+	tenants := []string{"team-a", "team-b", "batch", ""}
+	priorities := []string{"high", "normal", "low"}
+	const perTenant = 12
+	programs := workload.Names()
+	var wg sync.WaitGroup
+	for ti, tenant := range tenants {
+		wg.Add(1)
+		go func(ti int, tenant string) {
+			defer wg.Done()
+			for i := 0; i < perTenant; i++ {
+				spec := workload.JobSpec{
+					Program:  programs[(ti+i)%len(programs)],
+					Scale:    1,
+					Tenant:   tenant,
+					Priority: priorities[i%len(priorities)],
+				}
+				if _, err := s.Submit(spec); err != nil {
+					t.Errorf("submit tenant %q: %v", tenant, err)
+					return
+				}
+				if i%4 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(ti, tenant)
+	}
+	// Metrics scrapes race the scheduler's gauge updates (tenant depth,
+	// oldest-wait, preemptions).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if err := s.WriteMetrics(io.Discard); err != nil {
+				t.Errorf("metrics: %v", err)
+				return
+			}
+			s.QueueDepth()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	total := len(tenants) * perTenant
+	jobs := waitAllTerminal(t, s, total, 120*time.Second)
+	perTenantDone := map[string]int{}
+	for _, j := range jobs {
+		if j.State != JobDone {
+			t.Errorf("job %s (tenant %s) ended %s: %s", j.ID, j.Tenant, j.State, j.Error)
+		}
+		perTenantDone[j.Tenant]++
+	}
+	// The "" submitter canonicalizes to the default tenant.
+	want := map[string]int{"team-a": perTenant, "team-b": perTenant, "batch": perTenant, "default": perTenant}
+	for tenant, n := range want {
+		if perTenantDone[tenant] != n {
+			t.Errorf("tenant %s finished %d jobs, want %d", tenant, perTenantDone[tenant], n)
+		}
+	}
+	var buf strings.Builder
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for tenant, n := range want {
+		name := `corund_tenant_admitted_total{tenant="` + tenant + `"}`
+		if v := metricValue(t, body, name); v != float64(n) {
+			t.Errorf("%s = %v, want %d", name, v, n)
+		}
+		name = `corund_tenant_queued{tenant="` + tenant + `"}`
+		if v := metricValue(t, body, name); v != 0 {
+			t.Errorf("%s = %v, want 0 after drain", name, v)
+		}
+	}
+	s.Drain()
+	select {
+	case <-s.Drained():
+	case <-time.After(60 * time.Second):
+		t.Fatal("drain stuck")
+	}
+}
+
 // TestHTTPConcurrency exercises the same races through the HTTP layer
 // and cross-checks /metrics totals against the job table afterwards.
 func TestHTTPConcurrency(t *testing.T) {

@@ -12,10 +12,17 @@
 // can be changed live (POST /v1/cap, POST /v1/policy), taking effect
 // at the next epoch, the way a rack-level power manager retunes nodes.
 //
-// Admission control bounds the queue (429 once full), and SIGTERM-style
-// shutdown is graceful: draining stops admission, the in-flight epoch
-// completes, queued jobs are flushed through one final round, and the
-// loop exits.
+// Admission — who is accepted and who is eligible next — is owned by
+// the internal/admission layer: jobs carry a tenant and a priority
+// class, tenants drain under weighted fair queueing, both a global and
+// a per-tenant queue bound apply (429 once full, with the exhausted
+// bound named in the body), and with Config.MaxBatch set a higher-
+// priority arrival preempts the lowest-priority claimed batch members
+// at the epoch boundary. The epoch loop never orders jobs itself; it
+// claims work exclusively through the admission.Selector seam.
+// SIGTERM-style shutdown is graceful: draining stops admission, the
+// in-flight epoch completes, queued jobs are flushed through final
+// rounds, and the loop exits.
 //
 // With Config.DataDir set, the daemon is durable: every acknowledged
 // state change is written ahead to the internal/journal WAL, and a
@@ -32,10 +39,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"corun/internal/admission"
 	"corun/internal/apu"
 	"corun/internal/core"
 	"corun/internal/fault"
@@ -96,13 +105,33 @@ type Config struct {
 	// Seed drives refinement sampling and the Random policy.
 	Seed int64
 
-	// MaxQueue bounds admitted-but-unscheduled jobs; submissions over
-	// the bound get 429. Defaults to 256.
+	// MaxQueue bounds admitted-but-unscheduled jobs across all tenants;
+	// submissions over the bound get 429. Defaults to 256.
 	MaxQueue int
 
+	// TenantQueue bounds each single tenant's admitted-but-unscheduled
+	// jobs (0 = no per-tenant bound), so one chatty client cannot fill
+	// the global bound and starve everyone else's admission.
+	TenantQueue int
+
+	// TenantWeights are per-tenant weighted-fair-queueing weights: a
+	// tenant's share of epoch slots under contention, and with it its
+	// share of the power-capped node's capacity. Tenants not listed
+	// weigh 1; a configured 0 pins a tenant to the admission package's
+	// starvation floor (it still makes progress, at the lowest rate).
+	TenantWeights map[string]float64
+
+	// MaxBatch bounds how many jobs one epoch claims (0 = unbounded).
+	// A bounded batch is what gives priorities teeth: when the batch
+	// is full, a higher-priority arrival preempts (requeues) the
+	// lowest-priority claimed member at the epoch boundary.
+	MaxBatch int
+
 	// EpochGap is a real-time batching window: the scheduler waits this
-	// long after finding work before claiming the queue, so concurrent
-	// submitters coalesce into one epoch. 0 plans immediately.
+	// long after finding work before finalizing the claimed batch, so
+	// concurrent submitters coalesce into one epoch — and it doubles as
+	// the preemption window for higher-priority arrivals. 0 plans
+	// immediately.
 	EpochGap time.Duration
 
 	// DrainTimeout bounds how long ListenAndServe waits for the drain
@@ -257,11 +286,15 @@ type Server struct {
 	// matches their in-memory apply order.
 	ctlMu sync.Mutex
 
+	// adm owns job ordering and eligibility: tenant queues, priority
+	// classes, WFQ arbitration, and both admission bounds. The server
+	// keeps the job table, journal, and lifecycle; every adm call is
+	// made under mu so ordering stays atomic with the job table.
+	adm admission.Selector
+
 	mu         sync.Mutex
 	jobs       map[string]*Job
 	order      []string
-	queue      []*Job
-	reserve    int // submissions journaling, admitted but not yet visible
 	nextID     int
 	capW       units.Watts
 	policy     online.Policy
@@ -318,8 +351,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxQueue < 0 {
 		return nil, fmt.Errorf("server: negative max queue %d", cfg.MaxQueue)
 	}
+	if cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("server: negative max batch %d", cfg.MaxBatch)
+	}
+	adm, err := admission.New(admission.Config{
+		Weights:     cfg.TenantWeights,
+		MaxQueue:    cfg.MaxQueue,
+		TenantQueue: cfg.TenantQueue,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	s := &Server{
 		cfg:           cfg,
+		adm:           adm,
 		m:             newMetrics(),
 		jobs:          map[string]*Job{},
 		capW:          cfg.Cap,
@@ -373,16 +418,19 @@ func checkCap(machine *apu.Config, cap units.Watts) error {
 }
 
 // Submit admits one job, returning its initial record. ErrDraining and
-// ErrQueueFull report admission refusals; other errors are invalid
-// specs. With a journal configured, the submission record is durable
-// before the job is acknowledged or becomes visible to the scheduler
-// — an acked job can never be lost to a crash, and the log can never
-// hold a job's state transition ahead of its submission.
+// ErrQueueFull report admission refusals (a queue-full error also
+// carries the *admission.FullError naming the exhausted bound); other
+// errors are invalid specs. With a journal configured, the submission
+// record is durable before the job is acknowledged or becomes visible
+// to the scheduler — an acked job can never be lost to a crash, and
+// the log can never hold a job's state transition ahead of its
+// submission.
 func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return Job{}, err
 	}
+	class, _ := admission.ParseClass(spec.Priority) // validated above
 	if err := s.faults.Hit(SiteAdmit); err != nil {
 		s.m.rejected.Inc()
 		return Job{}, err
@@ -393,12 +441,14 @@ func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
 		s.mu.Unlock()
 		return Job{}, ErrDraining
 	}
-	// reserve counts submissions whose journal write is in flight, so
-	// concurrent submitters cannot overshoot the queue bound.
-	if s.cfg.MaxQueue > 0 && len(s.queue)+s.reserve >= s.cfg.MaxQueue {
+	// The reservation holds admission capacity while the journal write
+	// is in flight, so concurrent submitters cannot overshoot the
+	// global or tenant bound during the unlocked window below.
+	if err := s.adm.Reserve(spec.Tenant); err != nil {
 		s.m.rejected.Inc()
+		s.m.tenantRejected.Inc(admission.CanonicalTenant(spec.Tenant))
 		s.mu.Unlock()
-		return Job{}, ErrQueueFull
+		return Job{}, fmt.Errorf("%w: %w", ErrQueueFull, err)
 	}
 	id := fmt.Sprintf("job-%06d", s.nextID)
 	s.nextID++
@@ -408,18 +458,19 @@ func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
 		Scale:       spec.Scale,
 		Label:       spec.Label,
 		DeadlineS:   spec.DeadlineS,
+		Tenant:      spec.Tenant,
+		Priority:    spec.Priority,
 		State:       JobQueued,
 		SubmittedAt: time.Now().UTC(),
 		ArrivedSimS: float64(s.simClock),
 		spec:        spec,
 	}
 	if s.jl != nil {
-		s.reserve++
 		s.mu.Unlock()
 		err := s.appendDurable(journal.Record{Type: journal.TypeJobSubmitted, Job: recordFromJob(j)})
 		s.mu.Lock()
-		s.reserve--
 		if err != nil {
+			s.adm.Unreserve(spec.Tenant)
 			s.m.rejected.Inc()
 			s.mu.Unlock()
 			switch {
@@ -438,6 +489,7 @@ func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
 		// disk — restart recovery re-enqueues the job, the documented
 		// at-least-once side of the durability guarantee.)
 		if s.draining {
+			s.adm.Unreserve(spec.Tenant)
 			s.m.rejected.Inc()
 			s.mu.Unlock()
 			return Job{}, ErrDraining
@@ -445,10 +497,14 @@ func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
-	s.queue = append(s.queue, j)
+	s.adm.AddReserved(admission.Entry{
+		ID: id, Tenant: j.Tenant, Class: class,
+		EnqueuedAt: j.SubmittedAt, Payload: j,
+	})
 	s.jobsVersion++
 	s.m.submitted.Inc()
-	s.m.queueDepth.Set(float64(len(s.queue)))
+	s.m.tenantAdmitted.Inc(j.Tenant)
+	s.syncQueueGauges()
 	out := *j // snapshot before the scheduler can touch the job
 	s.mu.Unlock()
 	select {
@@ -456,6 +512,16 @@ func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
 	default:
 	}
 	return out, nil
+}
+
+// syncQueueGauges refreshes the queue-shape gauges from the admission
+// state. Callers hold mu.
+func (s *Server) syncQueueGauges() {
+	s.m.queueDepth.Set(float64(s.adm.Len()))
+	for tenant, depth := range s.adm.Depths() {
+		s.m.tenantQueued.Set(tenant, float64(depth))
+	}
+	s.m.oldestWait.Set(s.adm.OldestWait(time.Now().UTC()).Seconds())
 }
 
 // Job returns a snapshot of one job by ID.
@@ -516,7 +582,7 @@ func (s *Server) jobsJSON() ([]byte, error) {
 func (s *Server) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return s.adm.Len()
 }
 
 // Cap returns the active power cap.
@@ -634,6 +700,28 @@ func (s *Server) retryAfterSeconds() int {
 	return 1
 }
 
+// tenantRetryAfterSeconds is the Retry-After hint on a tenant's 429:
+// how long until the tenant's own backlog drains one slot, from the
+// admission layer's per-tenant drain-rate EWMA. Before any drain has
+// been observed it falls back to the global epoch-latency hint.
+func (s *Server) tenantRetryAfterSeconds(tenant string) int {
+	s.mu.Lock()
+	rate := s.adm.DrainRate(tenant)
+	depth := s.adm.TenantDepth(tenant)
+	s.mu.Unlock()
+	if rate > 0 {
+		secs := int(math.Ceil(float64(depth+1) / rate))
+		if secs < 1 {
+			secs = 1
+		}
+		if secs > 30 {
+			secs = 30
+		}
+		return secs
+	}
+	return s.retryAfterSeconds()
+}
+
 // Ready reports whether the scheduler loop has started — i.e.
 // startup recovery replay has finished and its re-enqueued queue has
 // been handed to the loop. GET /readyz exposes it.
@@ -709,7 +797,7 @@ func (s *Server) loop(ctx context.Context) {
 			s.markDraining()
 		}
 		s.mu.Lock()
-		pending := len(s.queue)
+		pending := s.adm.Len()
 		draining := s.draining
 		s.mu.Unlock()
 		if pending == 0 {
@@ -724,6 +812,11 @@ func (s *Server) loop(ctx context.Context) {
 			}
 			continue
 		}
+		// Claim the initial batch before the gap: the gap then doubles
+		// as the preemption window. Arrivals during it either coalesce
+		// into the epoch (batch below MaxBatch) or, when strictly
+		// higher-priority, displace claimed members at the boundary.
+		claimed := s.claimBatch()
 		if gap := s.cfg.EpochGap; gap > 0 && !draining {
 			t := time.NewTimer(gap)
 			select {
@@ -733,11 +826,23 @@ func (s *Server) loop(ctx context.Context) {
 			}
 			t.Stop()
 		}
-		s.runEpoch()
+		s.runEpoch(claimed)
 	}
 }
 
-// runEpoch claims the queue and runs one scheduling round.
+// claimBatch selects the next epoch's initial members through the
+// admission layer: strict priority across classes, weighted fair
+// queueing across tenants within a class.
+func (s *Server) claimBatch() []admission.Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	claimed := s.adm.SelectBatch(s.cfg.MaxBatch, time.Now().UTC())
+	s.syncQueueGauges()
+	return claimed
+}
+
+// runEpoch finalizes the claimed batch at the epoch boundary and runs
+// one scheduling round.
 //
 // Only terminal transitions are journaled (in one batch at the end of
 // the round). The intermediate planned/running records carried no
@@ -745,11 +850,22 @@ func (s *Server) loop(ctx context.Context) {
 // to queued with its epoch markers cleared — so writing them cost two
 // extra journal appends (and, under FsyncAlways, two extra fsyncs)
 // per epoch for state a restart discards anyway.
-func (s *Server) runEpoch() {
+func (s *Server) runEpoch(claimed []admission.Entry) {
 	s.mu.Lock()
-	batch := s.queue
-	s.queue = nil
-	s.m.queueDepth.Set(0)
+	// The boundary decision: absorb gap arrivals up to MaxBatch, then
+	// let strictly higher-priority arrivals displace the lowest-
+	// priority claimed members. Displaced jobs return to the front of
+	// their tenant queue with their original tags — requeued, not
+	// resubmitted — and run next epoch.
+	kept, requeued := s.adm.Preempt(claimed, s.cfg.MaxBatch, time.Now().UTC())
+	if len(requeued) > 0 {
+		s.m.preemptions.Add(float64(len(requeued)))
+	}
+	batch := make([]*Job, len(kept))
+	for i, e := range kept {
+		batch[i] = e.Payload.(*Job)
+	}
+	s.syncQueueGauges()
 	epoch := s.epochCount + 1
 	capW, policy := s.capW, s.policy
 	clock := s.simClock

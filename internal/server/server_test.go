@@ -379,12 +379,13 @@ func TestContextCancelDrains(t *testing.T) {
 }
 
 // TestAdmissionControl fills the queue past MaxQueue and expects 429.
+// The scheduler is started only afterwards: the loop claims the queue
+// as soon as it sees work, so the bound is filled before Start to keep
+// the check deterministic.
 func TestAdmissionControl(t *testing.T) {
 	s := newTestServer(t, func(c *Config) {
 		c.MaxQueue = 2
-		c.EpochGap = 5 * time.Second // hold the queue open
 	})
-	s.Start(context.Background())
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -404,7 +405,14 @@ func TestAdmissionControl(t *testing.T) {
 	if v := metricValue(t, mbody, "corund_queue_depth"); v != 2 {
 		t.Errorf("queue depth %v, want 2", v)
 	}
-	// Cleanup: flush the held queue.
+	if v := metricValue(t, mbody, `corund_tenant_queued{tenant="default"}`); v != 2 {
+		t.Errorf("tenant queue depth %v, want 2", v)
+	}
+	if v := metricValue(t, mbody, `corund_tenant_rejected_total{tenant="default"}`); v != 1 {
+		t.Errorf("tenant rejected %v, want 1", v)
+	}
+	// Cleanup: start the scheduler and flush the held queue.
+	s.Start(context.Background())
 	s.Drain()
 	select {
 	case <-s.Drained():

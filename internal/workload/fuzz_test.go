@@ -43,6 +43,14 @@ func FuzzJobSpecJSON(f *testing.F) {
 	f.Add([]byte(`{"program":"cfd","scale":5e-324}`))
 	f.Add([]byte(`{"program":"cfd","deadline_s":1e309}`))
 	f.Add([]byte(`{"program":"cfd","scale":1E4932}`))
+	// Admission fields: tenant and priority, valid and invalid.
+	f.Add([]byte(`{"program":"cfd","tenant":"team-a","priority":"high"}`))
+	f.Add([]byte(`{"program":"cfd","tenant":"default","priority":"normal"}`))
+	f.Add([]byte(`{"program":"cfd","priority":"LOW"}`))
+	f.Add([]byte(`{"program":"cfd","tenant":"bad tenant"}`))
+	f.Add([]byte(`{"program":"cfd","tenant":"` + strings.Repeat("x", 65) + `"}`))
+	f.Add([]byte(`{"program":"cfd","priority":"urgent"}`))
+	f.Add([]byte(`{"program":"cfd","tenant":42}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		spec, err := DecodeJobSpec(strings.NewReader(string(data)))

@@ -6,23 +6,30 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"corun/internal/admission"
 )
 
 // JobSpec is the JSON wire form of one submitted job, as accepted by
 // the corund daemon's POST /v1/jobs endpoint:
 //
-//	{"program": "cfd", "scale": 1.15, "label": "nightly", "deadline_s": 120}
+//	{"program": "cfd", "scale": 1.15, "label": "nightly", "deadline_s": 120,
+//	 "tenant": "team-a", "priority": "high"}
 //
 // Program must name one of the calibrated benchmarks. Scale defaults
 // to 1.0 (the reference input size); Label defaults to the program
 // name; DeadlineS is an optional response-time target in simulated
 // seconds (0 = none) that the server reports against but does not
-// enforce.
+// enforce. Tenant scopes the job to an admission queue (defaults to
+// the shared "default" tenant) and Priority is its class — "low",
+// "normal" (the default), or "high".
 type JobSpec struct {
 	Program   string  `json:"program"`
 	Scale     float64 `json:"scale,omitempty"`
 	Label     string  `json:"label,omitempty"`
 	DeadlineS float64 `json:"deadline_s,omitempty"`
+	Tenant    string  `json:"tenant,omitempty"`
+	Priority  string  `json:"priority,omitempty"`
 }
 
 // Normalize fills defaulted fields in place.
@@ -33,6 +40,10 @@ func (s *JobSpec) Normalize() {
 	}
 	if s.Label == "" {
 		s.Label = s.Program
+	}
+	s.Tenant = admission.CanonicalTenant(strings.TrimSpace(s.Tenant))
+	if c, err := admission.ParseClass(s.Priority); err == nil {
+		s.Priority = c.String()
 	}
 }
 
@@ -59,6 +70,12 @@ func (s JobSpec) Validate() error {
 	}
 	if s.DeadlineS < 0 {
 		return fmt.Errorf("workload: job spec has negative deadline %v", s.DeadlineS)
+	}
+	if err := admission.ValidateTenant(s.Tenant); err != nil {
+		return fmt.Errorf("workload: job spec: %w", err)
+	}
+	if _, err := admission.ParseClass(s.Priority); err != nil {
+		return fmt.Errorf("workload: job spec: %w", err)
 	}
 	return nil
 }

@@ -15,13 +15,24 @@ func TestDecodeJobSpec(t *testing.T) {
 		t.Fatalf("decoded %+v", s)
 	}
 
-	// Defaults.
+	// Defaults, including the admission fields: no tenant means the
+	// shared default tenant, no priority means the normal class.
 	s, err = DecodeJobSpec(strings.NewReader(`{"program":"lud"}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Scale != 1.0 || s.Label != "lud" {
+	if s.Scale != 1.0 || s.Label != "lud" || s.Tenant != "default" || s.Priority != "normal" {
 		t.Fatalf("defaults not applied: %+v", s)
+	}
+
+	// Explicit tenant and priority round the decoder intact (priority
+	// canonicalized to lowercase).
+	s, err = DecodeJobSpec(strings.NewReader(`{"program":"cfd","tenant":"team-a","priority":"HIGH"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tenant != "team-a" || s.Priority != "high" {
+		t.Fatalf("admission fields: %+v", s)
 	}
 
 	bad := []string{
@@ -34,6 +45,11 @@ func TestDecodeJobSpec(t *testing.T) {
 		`{"program":"cfd","scale":1e309}`,   // float64 range overflow
 		`{"program":"cfd","deadline_s":1e309}`,
 		`not json`,
+		`{"program":"cfd","tenant":"bad tenant"}`, // space in tenant
+		`{"program":"cfd","tenant":"a/b"}`,        // slash in tenant
+		`{"program":"cfd","priority":"urgent"}`,   // unknown class
+		`{"program":"cfd","priority":3}`,          // wrong type
+		`{"program":"cfd","tenant":"` + strings.Repeat("x", 65) + `"}`, // too long
 	}
 	for _, in := range bad {
 		if _, err := DecodeJobSpec(strings.NewReader(in)); err == nil {
