@@ -5,7 +5,7 @@ FUZZTIME ?= 5s
 LOADTEST_DURATION ?= 5s
 LOADTEST_WARMUP ?= 1s
 
-.PHONY: all build test race vet fmtcheck bench fuzz loadtest verify corund clean
+.PHONY: all build test race vet fmtcheck bench fuzz loadtest loadtest-fleet verify corund clean
 
 all: build
 
@@ -56,6 +56,26 @@ loadtest:
 		-tenants 'team-a=3:high,team-b=2,batch=1:low' \
 		-tenant-weights 'team-a=3,team-b=1,batch=0' -max-batch 8 \
 		-microbench -notes bench/optimizations_5.json -out BENCH_7.json
+
+# loadtest-fleet drives a self-hosted 3-node fleet behind the
+# in-process coordinator with the same mixed-tenant workload, three
+# times the single-node concurrency (so each node sees the loadtest
+# share), plus a paired single-node baseline at the per-node share, and
+# writes BENCH_8.json: fleet throughput, per-node routed/placement
+# counts and power shares, the worst one-sided fraction, and the
+# speedup against the embedded baseline.
+# The mix weights dwt2d (the one CPU-preferred program at max
+# frequency) up to half the stream, so the workload genuinely mixes
+# CPU- and GPU-preferred jobs and the per-node one-sided fractions
+# measure the placer rather than the calibration table's GPU skew.
+loadtest-fleet:
+	$(GO) run ./cmd/corunbench -fleet 3 -baseline \
+		-mode closed -concurrency 12 \
+		-duration $(LOADTEST_DURATION) -warmup $(LOADTEST_WARMUP) \
+		-mix 'dwt2d=7,streamcluster=1,cfd=1,hotspot=1,srad=1,lud=1,leukocyte=1,heartwall=1' \
+		-tenants 'team-a=3:high,team-b=2,batch=1:low' \
+		-tenant-weights 'team-a=3,team-b=1,batch=0' -max-batch 8 \
+		-out BENCH_8.json
 
 # verify is the tier-1 gate: everything must be gofmt-clean, compile,
 # vet clean, and pass the full test suite under the race detector.

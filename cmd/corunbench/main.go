@@ -10,9 +10,10 @@
 //
 //	corunbench [-url http://host:8080] [-mode open|closed]
 //	           [-rate rps] [-concurrency n]
-//	           [-duration dur] [-warmup dur]
+//	           [-duration dur] [-warmup dur] [-ready-timeout dur]
 //	           [-mix all|prog[=w],...] [-tenants name[=share][:prio],...]
 //	           [-read-fraction f] [-seed n]
+//	           [-fleet n] [-fleet-cap watts] [-balancer name] [-baseline]
 //	           [-microbench] [-notes file] [-out file]
 //	           [-policy name] [-cap watts] [-max-queue n]
 //	           [-tenant-queue n] [-tenant-weights name=w,...] [-max-batch n]
@@ -22,7 +23,22 @@
 // launches an in-process corund on a loopback port — journaling to a
 // temporary data dir (so journal fsync counts are part of the report)
 // unless -in-memory is set — drives it, and drains it cleanly; the
-// flags after -policy configure that instance.
+// flags after -policy configure that instance. Before offering load
+// the harness polls the target's /readyz until it answers 200 (up to
+// -ready-timeout) instead of sleeping a fixed interval.
+//
+// -fleet N self-hosts a whole fleet instead: N corund nodes (IDs n0,
+// n1, ..., one shared characterization, per-node temp journals) behind
+// an in-process fleet coordinator (internal/fleet), and drives the
+// coordinator's URL. -fleet-cap is the fleet-wide power budget
+// (default N × -cap) and -balancer the placement policy. The report
+// moves to the fleet bench trajectory (BENCH_8.json): it gains a
+// "fleet" section with each node's routed counts, CPU/GPU placement
+// mix, and power share, read from the coordinator's GET /v1/nodes.
+// -baseline additionally runs the same workload against a fresh
+// single node at the per-node share of the offered load (concurrency
+// or rate divided by N) and embeds that run, so the report carries
+// its own like-for-like speedup evidence.
 //
 // -tenants offers a multi-tenant submission mix: each term is a
 // tenant name, its share of submissions, and the priority class its
@@ -50,12 +66,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
 	"corun/internal/admission"
 	"corun/internal/apu"
+	"corun/internal/cluster"
+	"corun/internal/fleet"
 	"corun/internal/journal"
 	"corun/internal/loadgen"
 	"corun/internal/memsys"
@@ -91,6 +110,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	micro := fs.Bool("microbench", false, "pair the run with in-process journal micro-benchmarks")
 	notes := fs.String("notes", "", "merge this optimization-evidence JSON file into the report")
 	out := fs.String("out", "", "write the JSON report here (empty = stdout)")
+	readyTimeout := fs.Duration("ready-timeout", 30*time.Second, "poll the target's /readyz this long before offering load")
+
+	fleetN := fs.Int("fleet", 0, "self-host a fleet: this many corund nodes behind an in-process coordinator (0 = single instance)")
+	fleetCap := fs.Float64("fleet-cap", 0, "fleet-wide power budget in watts (0 = N x -cap)")
+	balancerFlag := fs.String("balancer", "headroom", "fleet placement policy: roundrobin | leastloaded | affinity | headroom")
+	baseline := fs.Bool("baseline", false, "fleet mode: also run a single node at the per-node load share and embed it as the speedup baseline")
 
 	policyFlag := fs.String("policy", "hcs+", "self-hosted instance: epoch policy ("+strings.Join(policy.Names(), " | ")+")")
 	capW := fs.Float64("cap", 15, "self-hosted instance: package power cap in watts")
@@ -119,21 +144,55 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if *fleetN < 0 {
+		return fmt.Errorf("negative -fleet %d", *fleetN)
+	}
+	if *fleetN > 0 && *url != "" {
+		return fmt.Errorf("-fleet self-hosts its own nodes; it cannot be combined with -url")
+	}
+
+	hc := hostConfig{
+		policy:        *policyFlag,
+		capW:          *capW,
+		maxQueue:      *maxQueue,
+		tenantQueue:   *tenantQueue,
+		tenantWeights: weights,
+		maxBatch:      *maxBatch,
+		epochGap:      *epochGap,
+		fsync:         *fsyncFlag,
+		dataDir:       *dataDir,
+		inMemory:      *inMemory,
+		seed:          *seed,
+	}
+	if *url == "" {
+		// Characterize once, shared across every self-hosted node in
+		// this process (fleet members and the baseline instance) — the
+		// fleet deployment shape from the daemon's -char flag.
+		hc.mcfg = apu.DefaultConfig()
+		hc.mem = memsys.Default()
+		start := time.Now()
+		char, err := model.Characterize(model.CharacterizeOptions{Cfg: hc.mcfg, Mem: hc.mem})
+		if err != nil {
+			return err
+		}
+		hc.char = char
+		log.Printf("characterized the degradation space in %v", time.Since(start).Round(time.Millisecond))
+	}
+
+	budgetW := *fleetCap
+	if budgetW == 0 {
+		budgetW = float64(*fleetN) * *capW
+	}
 	baseURL := *url
 	if baseURL == "" {
-		shutdown, addr, err := selfHost(hostConfig{
-			policy:        *policyFlag,
-			capW:          *capW,
-			maxQueue:      *maxQueue,
-			tenantQueue:   *tenantQueue,
-			tenantWeights: weights,
-			maxBatch:      *maxBatch,
-			epochGap:      *epochGap,
-			fsync:         *fsyncFlag,
-			dataDir:       *dataDir,
-			inMemory:      *inMemory,
-			seed:          *seed,
-		})
+		var shutdown func()
+		var addr string
+		var err error
+		if *fleetN > 0 {
+			shutdown, addr, err = selfHostFleet(hc, *fleetN, budgetW, *balancerFlag)
+		} else {
+			shutdown, addr, err = selfHost(hc)
+		}
 		if err != nil {
 			return err
 		}
@@ -152,11 +211,32 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Tenants:      tenants,
 		ReadFraction: *readFrac,
 		Seed:         *seed,
+		ReadyTimeout: *readyTimeout,
 	}
 	log.Printf("driving %s: mode=%s duration=%v warmup=%v", baseURL, *mode, *duration, *warmup)
 	rep, err := loadgen.Run(ctx, cfg)
 	if err != nil {
 		return err
+	}
+	if *fleetN > 0 {
+		snap, err := loadgen.FleetSnapshot(ctx, nil, baseURL)
+		if err != nil {
+			return err
+		}
+		snap.BudgetWatts = budgetW
+		snap.HostCPUs = runtime.NumCPU()
+		var baseRep *loadgen.Report
+		if *baseline {
+			baseRep, err = runBaseline(ctx, hc, cfg, *fleetN)
+			if err != nil {
+				return err
+			}
+		}
+		rep.AttachFleet(snap, baseRep)
+		log.Printf("fleet: %d nodes, max one-sided fraction %.2f", snap.Nodes, snap.MaxOneSidedFraction)
+		if snap.SpeedupVsBaseline > 0 {
+			log.Printf("fleet: %.2fx the single-node baseline throughput", snap.SpeedupVsBaseline)
+		}
 	}
 	if *micro {
 		log.Printf("running paired micro-benchmarks")
@@ -189,8 +269,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	return nil
 }
 
-// hostConfig configures the self-hosted corund instance corunbench
-// launches when no -url is given.
+// hostConfig configures the self-hosted corund instances corunbench
+// launches when no -url is given. mcfg/mem/char are measured once in
+// run() and shared by every instance in the process.
 type hostConfig struct {
 	policy        string
 	capW          float64
@@ -203,6 +284,11 @@ type hostConfig struct {
 	dataDir       string
 	inMemory      bool
 	seed          int64
+	nodeID        string
+
+	mcfg *apu.Config
+	mem  *memsys.Model
+	char *model.Characterization
 }
 
 // selfHost launches an in-process corund on a loopback port and
@@ -230,19 +316,10 @@ func selfHost(hc hostConfig) (func(), string, error) {
 		cleanupDir = func() { os.RemoveAll(tmp) }
 	}
 
-	mcfg := apu.DefaultConfig()
-	mem := memsys.Default()
-	start := time.Now()
-	char, err := model.Characterize(model.CharacterizeOptions{Cfg: mcfg, Mem: mem})
-	if err != nil {
-		return nil, "", err
-	}
-	log.Printf("characterized the degradation space in %v", time.Since(start).Round(time.Millisecond))
-
 	s, err := server.New(server.Config{
-		Machine:       mcfg,
-		Mem:           mem,
-		Char:          char,
+		Machine:       hc.mcfg,
+		Mem:           hc.mem,
+		Char:          hc.char,
 		Cap:           units.Watts(hc.capW),
 		Policy:        pol,
 		Seed:          hc.seed,
@@ -253,6 +330,7 @@ func selfHost(hc hostConfig) (func(), string, error) {
 		EpochGap:      hc.epochGap,
 		DataDir:       dataDir,
 		Fsync:         fsyncPol,
+		NodeID:        hc.nodeID,
 	})
 	if err != nil {
 		if cleanupDir != nil {
@@ -265,6 +343,7 @@ func selfHost(hc hostConfig) (func(), string, error) {
 		if cleanupDir != nil {
 			cleanupDir()
 		}
+		s.Close()
 		return nil, "", err
 	}
 	s.Start(context.Background())
@@ -274,7 +353,11 @@ func selfHost(hc hostConfig) (func(), string, error) {
 	if dataDir != "" {
 		durability = fmt.Sprintf("journal %s, fsync %s", dataDir, fsyncPol)
 	}
-	log.Printf("self-hosted corund on %s (policy %s, cap %gW, %s)", ln.Addr(), pol, hc.capW, durability)
+	identity := ""
+	if hc.nodeID != "" {
+		identity = fmt.Sprintf("node %s, ", hc.nodeID)
+	}
+	log.Printf("self-hosted corund on %s (%spolicy %s, cap %gW, %s)", ln.Addr(), identity, pol, hc.capW, durability)
 
 	shutdown := func() {
 		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -293,4 +376,90 @@ func selfHost(hc hostConfig) (func(), string, error) {
 		}
 	}
 	return shutdown, "http://" + ln.Addr().String(), nil
+}
+
+// selfHostFleet launches n corund nodes (IDs n0..n<n-1>, distinct
+// seeds and journals, the shared characterization) plus an in-process
+// fleet coordinator fronting them, and returns the coordinator's base
+// URL. Shutdown drains the nodes through the coordinator's own
+// lifecycle: coordinator first (no new placements), then each node.
+func selfHostFleet(hc hostConfig, n int, budgetW float64, balancer string) (func(), string, error) {
+	bal, err := cluster.ParseBalancer(balancer)
+	if err != nil {
+		return nil, "", err
+	}
+	var shutdowns []func()
+	shutdownAll := func() {
+		for i := len(shutdowns) - 1; i >= 0; i-- {
+			shutdowns[i]()
+		}
+	}
+	nodes := make([]fleet.NodeConfig, n)
+	for i := 0; i < n; i++ {
+		nhc := hc
+		nhc.nodeID = fmt.Sprintf("n%d", i)
+		nhc.seed = hc.seed + int64(i)
+		nhc.dataDir = "" // never share one -data-dir across nodes
+		stop, addr, err := selfHost(nhc)
+		if err != nil {
+			shutdownAll()
+			return nil, "", err
+		}
+		shutdowns = append(shutdowns, stop)
+		nodes[i] = fleet.NodeConfig{ID: nhc.nodeID, URL: addr}
+	}
+	co, err := fleet.New(fleet.Config{
+		Nodes:             nodes,
+		BudgetW:           budgetW,
+		Balancer:          bal,
+		Machine:           hc.mcfg,
+		Mem:               hc.mem,
+		HealthInterval:    100 * time.Millisecond,
+		RebalanceInterval: 500 * time.Millisecond,
+		PlanCacheTTL:      50 * time.Millisecond,
+	})
+	if err != nil {
+		shutdownAll()
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		shutdownAll()
+		return nil, "", err
+	}
+	co.Start(context.Background())
+	srv := &http.Server{Handler: co.Handler()}
+	go srv.Serve(ln)
+	log.Printf("self-hosted fleet coordinator on %s (%d nodes, balancer %s, budget %gW)",
+		ln.Addr(), n, bal, budgetW)
+	shutdowns = append(shutdowns, func() {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+		co.Stop()
+	})
+	return shutdownAll, "http://" + ln.Addr().String(), nil
+}
+
+// runBaseline measures a fresh single node under the per-node share
+// of the fleet's offered load (concurrency or rate divided by the
+// node count) — the weak-scaling baseline the fleet speedup is
+// reported against.
+func runBaseline(ctx context.Context, hc hostConfig, cfg loadgen.Config, n int) (*loadgen.Report, error) {
+	shutdown, addr, err := selfHost(hc)
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown()
+	cfg.BaseURL = addr
+	if cfg.Mode == loadgen.ModeClosed {
+		cfg.Concurrency = cfg.Concurrency / n
+		if cfg.Concurrency < 1 {
+			cfg.Concurrency = 1
+		}
+	} else {
+		cfg.Rate = cfg.Rate / float64(n)
+	}
+	log.Printf("baseline: driving single node %s at the per-node load share", addr)
+	return loadgen.Run(ctx, cfg)
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	corund [-addr :8080] [-cap watts] [-policy name]
+//	corund [-addr :8080] [-cap watts] [-policy name] [-node-id id]
 //	       [-machine ivybridge|kaveri] [-max-queue n] [-epoch-gap dur]
 //	       [-tenant-queue n] [-tenant-weights tenant=w,...] [-max-batch n]
 //	       [-char file] [-save-char file] [-seed n]
@@ -12,6 +12,27 @@
 //	       [-journal-retries n] [-retry-base dur] [-retry-max dur]
 //	       [-breaker-threshold n] [-breaker-cooldown dur]
 //	       [-request-timeout dur] [-fault-spec spec]
+//
+//	corund -coordinator -nodes n0=http://h0:8081,n1=http://h1:8082,...
+//	       [-addr :8080] [-fleet-cap watts] [-node-floor watts]
+//	       [-balancer headroom|affinity|leastloaded|roundrobin]
+//	       [-health-interval dur] [-rebalance-interval dur]
+//	       [-plan-cache dur] [-request-timeout dur]
+//
+// -node-id gives the daemon a stable fleet identity: job IDs are
+// minted as "<node-id>-job-%06d" (so a fleet coordinator can route
+// GET /v1/jobs/{id} to the owning shard by prefix), /readyz reports
+// the identity, and /metrics exposes it as corund_node_info{node}.
+//
+// -coordinator switches the binary into fleet-coordinator mode
+// (internal/fleet): instead of scheduling jobs itself, it fronts the
+// corund daemons listed in -nodes with the same /v1/* API, places
+// each submission with the fragmentation-aware balancer, partitions
+// -fleet-cap watts across the nodes by demand (rebalanced every
+// -rebalance-interval; 0 = leave node caps alone), tracks node
+// health by polling /readyz, and reroutes around failed nodes. See
+// internal/fleet for the API surface (notably GET /v1/nodes, the
+// fleet dashboard).
 //
 // The epoch policy is any name registered in the policy registry
 // (hcs+, hcs, optimal, anneal, genetic, random, default, ...);
@@ -87,7 +108,9 @@ import (
 
 	"corun/internal/admission"
 	"corun/internal/apu"
+	"corun/internal/cluster"
 	"corun/internal/fault"
+	"corun/internal/fleet"
 	"corun/internal/journal"
 	"corun/internal/memsys"
 	"corun/internal/model"
@@ -100,6 +123,15 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	capW := flag.Float64("cap", 15, "package power cap in watts (0 = uncapped)")
+	nodeID := flag.String("node-id", "", "stable fleet node identity (prefixes minted job IDs; empty = standalone)")
+	coordinator := flag.Bool("coordinator", false, "run as a fleet coordinator over the daemons in -nodes instead of scheduling locally")
+	nodesFlag := flag.String("nodes", "", "coordinator mode: comma list of member daemons, id=url,...")
+	fleetCap := flag.Float64("fleet-cap", 0, "coordinator mode: fleet-wide power budget partitioned across nodes (0 = leave node caps alone)")
+	nodeFloor := flag.Float64("node-floor", 5, "coordinator mode: minimum power share per healthy node in watts")
+	balancerFlag := flag.String("balancer", "headroom", "coordinator mode: placement policy: roundrobin | leastloaded | affinity | headroom")
+	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "coordinator mode: node /readyz poll period")
+	rebalanceInterval := flag.Duration("rebalance-interval", 2*time.Second, "coordinator mode: power budget repartition period")
+	planCache := flag.Duration("plan-cache", 100*time.Millisecond, "coordinator mode: aggregated /v1/plan cache TTL")
 	policyFlag := flag.String("policy", "hcs+", "epoch scheduling policy: "+strings.Join(policy.Names(), " | "))
 	machine := flag.String("machine", "ivybridge", "machine preset: ivybridge | kaveri")
 	maxQueue := flag.Int("max-queue", 256, "admission control: max queued jobs before 429")
@@ -121,6 +153,12 @@ func main() {
 	faultSpec := flag.String("fault-spec", "", "arm deterministic failpoints, e.g. 'journal/fsync=error(every=3,times=5);policy/plan=latency(50ms,p=0.5,seed=7)'")
 	flag.Parse()
 
+	if *coordinator {
+		runCoordinator(*addr, *nodesFlag, *fleetCap, *nodeFloor, *balancerFlag,
+			*machine, *healthInterval, *rebalanceInterval, *planCache, *reqTimeout)
+		return
+	}
+
 	cfg, err := buildConfig(*machine, *policyFlag, *capW, *maxQueue, *epochGap, *seed, *charFile, *saveChar, *dataDir, *fsync)
 	if err != nil {
 		log.Fatalf("corund: %v", err)
@@ -138,6 +176,7 @@ func main() {
 	cfg.BreakerThreshold = *brkThreshold
 	cfg.BreakerCooldown = *brkCooldown
 	cfg.RequestTimeout = *reqTimeout
+	cfg.NodeID = *nodeID
 	if *faultSpec != "" {
 		if err := fault.Default.ArmSpec(*faultSpec); err != nil {
 			log.Fatalf("corund: -fault-spec: %v", err)
@@ -158,12 +197,69 @@ func main() {
 		// the flags; report what it actually runs with.
 		durability = fmt.Sprintf("journal %s, fsync %s", cfg.DataDir, cfg.Fsync)
 	}
-	log.Printf("corund: serving on %s (policy %s, cap %gW, queue bound %d, %s)",
-		*addr, s.Policy(), float64(s.Cap()), cfg.MaxQueue, durability)
+	identity := ""
+	if cfg.NodeID != "" {
+		identity = fmt.Sprintf("node %s, ", cfg.NodeID)
+	}
+	log.Printf("corund: serving on %s (%spolicy %s, cap %gW, queue bound %d, %s)",
+		*addr, identity, s.Policy(), float64(s.Cap()), cfg.MaxQueue, durability)
 	if err := s.ListenAndServe(ctx, *addr); err != nil {
 		log.Fatalf("corund: %v", err)
 	}
 	log.Printf("corund: drained cleanly")
+}
+
+// runCoordinator is -coordinator mode: the binary becomes the fleet
+// front door (internal/fleet) instead of a scheduling node. No
+// characterization runs — placement hints come straight from the
+// analytic kernel model.
+func runCoordinator(addr, nodesSpec string, fleetCap, nodeFloor float64, balancer, machine string,
+	healthInterval, rebalanceInterval, planCache, reqTimeout time.Duration) {
+	nodes, err := fleet.ParseNodes(nodesSpec)
+	if err != nil {
+		log.Fatalf("corund: -nodes: %v", err)
+	}
+	bal, err := cluster.ParseBalancer(balancer)
+	if err != nil {
+		log.Fatalf("corund: -balancer: %v", err)
+	}
+	var mcfg *apu.Config
+	switch strings.ToLower(machine) {
+	case "ivybridge", "":
+		mcfg = apu.DefaultConfig()
+	case "kaveri":
+		mcfg = apu.KaveriConfig()
+	default:
+		log.Fatalf("corund: unknown machine %q", machine)
+	}
+	co, err := fleet.New(fleet.Config{
+		Nodes:             nodes,
+		BudgetW:           fleetCap,
+		FloorW:            nodeFloor,
+		Balancer:          bal,
+		Machine:           mcfg,
+		HealthInterval:    healthInterval,
+		RebalanceInterval: rebalanceInterval,
+		PlanCacheTTL:      planCache,
+		RequestTimeout:    reqTimeout,
+	})
+	if err != nil {
+		log.Fatalf("corund: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	budget := "node caps unmanaged"
+	if fleetCap > 0 {
+		budget = fmt.Sprintf("budget %gW, floor %gW", fleetCap, nodeFloor)
+	}
+	log.Printf("corund: coordinating %d nodes on %s (balancer %s, %s)",
+		len(nodes), addr, bal, budget)
+	if err := co.ListenAndServe(ctx, addr); err != nil {
+		log.Fatalf("corund: %v", err)
+	}
+	log.Printf("corund: coordinator stopped")
 }
 
 // buildConfig assembles the server configuration: machine preset,

@@ -531,7 +531,7 @@ func (s *System) ServeCluster(arrivals []Arrival, nodes int, bal Balancer, polic
 	return cluster.Serve(cluster.Options{
 		Cfg: s.cfg, Mem: s.mem, Char: s.char,
 		Nodes: nodes, CapPerNode: s.cap,
-		Balancer: bal, Policy: policy, Seed: seed,
+		Balancer: bal, Policy: string(policy), Seed: seed,
 	}, arrivals)
 }
 

@@ -1,6 +1,8 @@
-// Package cluster scales the co-scheduling runtime from one APU node to
-// a fleet: arriving jobs are balanced across nodes, and each node runs
-// the online epoch scheduler (package online) under its own power cap.
+// Package cluster is the placement library that scales the
+// co-scheduling runtime from one APU node to a fleet: arriving jobs
+// are balanced across nodes by a Placer (placer.go, the pure scoring
+// core shared with the live fleet coordinator in internal/fleet), and
+// each node runs the online epoch scheduler under its own power cap.
 //
 // The paper motivates job co-scheduling as "a cheap (virtually free)
 // way to significantly improve system throughput for shared servers,
@@ -8,7 +10,12 @@
 // piece of that story. It also exposes the interaction between
 // balancing and co-scheduling: a balancer that spreads complementary
 // jobs apart starves each node's co-run pairing opportunities, so the
-// affinity-aware policy groups CPU- and GPU-preferred work.
+// affinity-aware policy groups CPU- and GPU-preferred work — and the
+// headroom-aware policy extends that to uneven per-node power budgets.
+//
+// Scheduling policies are plain registry names (internal/policy), so
+// any registered planner can serve the fleet's epochs; the package no
+// longer couples to internal/online's policy type.
 package cluster
 
 import (
@@ -19,39 +26,9 @@ import (
 	"corun/internal/memsys"
 	"corun/internal/model"
 	"corun/internal/online"
+	"corun/internal/policy"
 	"corun/internal/units"
 )
-
-// Balancer selects the node for each arriving job.
-type Balancer int
-
-// Balancing policies.
-const (
-	// RoundRobin assigns arrivals to nodes cyclically.
-	RoundRobin Balancer = iota
-	// LeastLoaded assigns each arrival to the node with the least
-	// pending work (sum of queued jobs' best solo times, estimated at
-	// max frequency).
-	LeastLoaded
-	// AffinityAware is LeastLoaded with a tiebreak that balances each
-	// node's mix of CPU- and GPU-preferred jobs, preserving co-run
-	// pairing opportunities.
-	AffinityAware
-)
-
-// String implements fmt.Stringer.
-func (b Balancer) String() string {
-	switch b {
-	case RoundRobin:
-		return "round-robin"
-	case LeastLoaded:
-		return "least-loaded"
-	case AffinityAware:
-		return "affinity-aware"
-	default:
-		return fmt.Sprintf("Balancer(%d)", int(b))
-	}
-}
 
 // Options configures a cluster run.
 type Options struct {
@@ -65,8 +42,10 @@ type Options struct {
 	CapPerNode units.Watts
 	// Balancer picks the placement policy.
 	Balancer Balancer
-	// Policy is each node's epoch scheduling policy.
-	Policy online.Policy
+	// Policy names each node's epoch scheduling policy in the
+	// internal/policy registry (canonical name or alias); empty means
+	// the registry's "hcs+".
+	Policy string
 	// Seed drives stochastic components.
 	Seed int64
 }
@@ -92,8 +71,8 @@ type Result struct {
 	Imbalance float64
 }
 
-// Serve balances the arrival stream across the fleet and serves each
-// node's share with the online scheduler.
+// Serve balances the arrival stream across the fleet with a Placer and
+// serves each node's share with the online scheduler.
 func Serve(opts Options, arrivals []online.Arrival) (*Result, error) {
 	if opts.Nodes <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one node, got %d", opts.Nodes)
@@ -101,57 +80,44 @@ func Serve(opts Options, arrivals []online.Arrival) (*Result, error) {
 	if opts.Cfg == nil || opts.Mem == nil {
 		return nil, fmt.Errorf("cluster: nil machine or memory model")
 	}
+	polName := opts.Policy
+	if polName == "" {
+		polName = string(online.PolicyHCSPlus)
+	}
+	canonical, err := policy.Canonical(polName)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	placer, err := NewPlacer(opts.Balancer)
+	if err != nil {
+		return nil, err
+	}
+
 	perNode := make([][]online.Arrival, opts.Nodes)
-	loads := make([]float64, opts.Nodes)
-	prefBias := make([]float64, opts.Nodes) // >0: GPU-heavy backlog
+	nodes := make([]NodeState, opts.Nodes)
+	for n := range nodes {
+		nodes[n].HeadroomW = float64(opts.CapPerNode)
+	}
 
 	sorted := append([]online.Arrival(nil), arrivals...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
 
 	cmax := opts.Cfg.MaxFreqIndex(apu.CPU)
 	gmax := opts.Cfg.MaxFreqIndex(apu.GPU)
-	for i, a := range sorted {
-		node := 0
-		switch opts.Balancer {
-		case RoundRobin:
-			node = i % opts.Nodes
-		case LeastLoaded, AffinityAware:
-			for n := 1; n < opts.Nodes; n++ {
-				if loads[n] < loads[node] {
-					node = n
-				}
-			}
-			if opts.Balancer == AffinityAware {
-				// Among nodes within 10% of the lightest load, pick
-				// the one whose backlog mix this job balances best.
-				tc := float64(a.Prog.StandaloneTime(apu.CPU, opts.Cfg.Freq(apu.CPU, cmax), opts.Mem, a.Scale))
-				tg := float64(a.Prog.StandaloneTime(apu.GPU, opts.Cfg.Freq(apu.GPU, gmax), opts.Mem, a.Scale))
-				jobBias := 1.0 // GPU-preferred
-				if tc < tg {
-					jobBias = -1
-				}
-				bestScore := clusterScore(loads[node], loads[node], prefBias[node], jobBias)
-				for n := 0; n < opts.Nodes; n++ {
-					if loads[n] > loads[node]*1.1+1 {
-						continue
-					}
-					if sc := clusterScore(loads[n], loads[node], prefBias[n], jobBias); sc < bestScore {
-						bestScore, node = sc, n
-					}
-				}
-				prefBias[node] += jobBias
-			}
-		default:
-			return nil, fmt.Errorf("cluster: unknown balancer %v", opts.Balancer)
+	for _, a := range sorted {
+		hint := JobHint{
+			CPUTimeS: float64(a.Prog.StandaloneTime(apu.CPU, opts.Cfg.Freq(apu.CPU, cmax), opts.Mem, a.Scale)),
+			GPUTimeS: float64(a.Prog.StandaloneTime(apu.GPU, opts.Cfg.Freq(apu.GPU, gmax), opts.Mem, a.Scale)),
+		}
+		node, err := placer.Pick(hint, nodes)
+		if err != nil {
+			return nil, err
 		}
 		perNode[node] = append(perNode[node], a)
-		// Load estimate: the job's best solo time at max frequency.
-		tc := float64(a.Prog.StandaloneTime(apu.CPU, opts.Cfg.Freq(apu.CPU, cmax), opts.Mem, a.Scale))
-		tg := float64(a.Prog.StandaloneTime(apu.GPU, opts.Cfg.Freq(apu.GPU, gmax), opts.Mem, a.Scale))
-		if tg < tc {
-			tc = tg
-		}
-		loads[node] += tc
+		// Fold the job into the winner's snapshot: its best solo time as
+		// load, its device preference into the backlog mix.
+		nodes[node].Load += hint.BestTimeS()
+		nodes[node].BiasGPU += hint.BiasGPU()
 	}
 
 	res := &Result{}
@@ -160,7 +126,7 @@ func Serve(opts Options, arrivals []online.Arrival) (*Result, error) {
 	for n := 0; n < opts.Nodes; n++ {
 		nodeRes, err := online.Serve(online.Options{
 			Cfg: opts.Cfg, Mem: opts.Mem, Char: opts.Char,
-			Cap: opts.CapPerNode, Policy: opts.Policy, Seed: opts.Seed + int64(n),
+			Cap: opts.CapPerNode, Policy: online.Policy(canonical), Seed: opts.Seed + int64(n),
 		}, perNode[n])
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", n, err)
@@ -189,15 +155,4 @@ func Serve(opts Options, arrivals []online.Arrival) (*Result, error) {
 		res.Imbalance = (maxDone - minDone) / maxDone
 	}
 	return res, nil
-}
-
-// clusterScore ranks a candidate node: load dominates, the affinity
-// mismatch breaks ties (a GPU-preferred job prefers a CPU-heavy
-// backlog and vice versa).
-func clusterScore(load, minLoad, bias, jobBias float64) float64 {
-	rel := 0.0
-	if minLoad > 0 {
-		rel = (load - minLoad) / minLoad
-	}
-	return rel + 0.02*bias*jobBias
 }

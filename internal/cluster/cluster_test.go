@@ -29,7 +29,7 @@ func testOptions(t *testing.T, nodes int, bal Balancer) Options {
 	return Options{
 		Cfg: cfg, Mem: mem, Char: charVal,
 		Nodes: nodes, CapPerNode: 15,
-		Balancer: bal, Policy: online.PolicyHCSPlus, Seed: 1,
+		Balancer: bal, Policy: "hcs+", Seed: 1,
 	}
 }
 

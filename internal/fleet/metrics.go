@@ -1,0 +1,65 @@
+package fleet
+
+import "corun/internal/promtext"
+
+// metrics is the coordinator's own instrumentation, served from its
+// GET /metrics — fleet-level series (prefix fleet_) distinct from the
+// per-node corund_* series each member exposes itself.
+type metrics struct {
+	reg *promtext.Registry
+
+	nodes      *promtext.Gauge
+	healthy    *promtext.Gauge
+	budget     *promtext.Gauge
+	nodeUp     *promtext.GaugeVec
+	capShare   *promtext.GaugeVec
+	queueDepth *promtext.GaugeVec
+
+	routed        *promtext.CounterVec
+	placedCPU     *promtext.CounterVec
+	placedGPU     *promtext.CounterVec
+	rerouted      *promtext.Counter
+	routingFailed *promtext.Counter
+	proxyErrors   *promtext.Counter
+
+	probeFailures *promtext.CounterVec
+	rebalances    *promtext.Counter
+	capPushErrors *promtext.CounterVec
+}
+
+func newMetrics() *metrics {
+	reg := promtext.NewRegistry()
+	return &metrics{
+		reg: reg,
+		nodes: reg.NewGauge("fleet_nodes",
+			"Configured member nodes."),
+		healthy: reg.NewGauge("fleet_nodes_healthy",
+			"Member nodes currently in routing rotation."),
+		budget: reg.NewGauge("fleet_power_budget_watts",
+			"Fleet-wide power budget partitioned across nodes (0 = unmanaged)."),
+		nodeUp: reg.NewGaugeVec("fleet_node_up",
+			"1 while the node is healthy and in rotation, by node.", "node"),
+		capShare: reg.NewGaugeVec("fleet_node_cap_share_watts",
+			"Power-budget share most recently assigned to the node.", "node"),
+		queueDepth: reg.NewGaugeVec("fleet_node_queue_depth",
+			"Estimated pending jobs on the node (last reported depth plus jobs routed since).", "node"),
+		routed: reg.NewCounterVec("fleet_jobs_routed_total",
+			"Jobs accepted by the fleet, by owning node.", "node"),
+		placedCPU: reg.NewCounterVec("fleet_placed_cpu_pref_total",
+			"Routed jobs whose standalone time favors the CPU, by node.", "node"),
+		placedGPU: reg.NewCounterVec("fleet_placed_gpu_pref_total",
+			"Routed jobs whose standalone time favors the GPU, by node.", "node"),
+		rerouted: reg.NewCounter("fleet_jobs_rerouted_total",
+			"Submissions re-placed on another node after the first choice failed."),
+		routingFailed: reg.NewCounter("fleet_routing_failures_total",
+			"Submissions refused with 503 because no healthy node accepted them."),
+		proxyErrors: reg.NewCounter("fleet_proxy_errors_total",
+			"Proxied reads (job lookups, fan-outs) that failed upstream."),
+		probeFailures: reg.NewCounterVec("fleet_health_probe_failures_total",
+			"Failed /readyz probes (transport error or identity mismatch), by node.", "node"),
+		rebalances: reg.NewCounter("fleet_rebalances_total",
+			"Power-budget repartition rounds completed."),
+		capPushErrors: reg.NewCounterVec("fleet_cap_push_errors_total",
+			"Failed attempts to apply a budget share via the node's POST /v1/cap, by node.", "node"),
+	}
+}

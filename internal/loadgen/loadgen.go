@@ -193,6 +193,12 @@ type Config struct {
 	// limit. Defaults to 512.
 	MaxInFlight int
 
+	// ReadyTimeout, when positive, makes Run poll the target's /readyz
+	// until it answers 200 (or the timeout passes) before offering any
+	// load — replacing fixed start-up sleeps, which either waste time
+	// or race a daemon still replaying its journal.
+	ReadyTimeout time.Duration
+
 	// Client overrides the HTTP client (default: 10s timeout).
 	Client *http.Client
 }
@@ -299,7 +305,18 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		},
 	}
 	if r.client == nil {
-		r.client = &http.Client{Timeout: 10 * time.Second}
+		// All load goes to one base URL; the stock transport keeps only
+		// two idle connections per host, which churns TCP under any real
+		// concurrency and charges the handshakes to the measured
+		// latencies. Pool at least the worker count.
+		r.client = &http.Client{
+			Timeout: 10 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 256,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
 	}
 	if len(cfg.Tenants) > 0 {
 		r.tstats = make(map[string]*tenantStats, len(cfg.Tenants))
@@ -311,6 +328,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if len(mix) == 0 {
 		var err error
 		if mix, err = ParseMix("all"); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ReadyTimeout > 0 {
+		if err := WaitReady(ctx, r.client, cfg.BaseURL, cfg.ReadyTimeout); err != nil {
 			return nil, err
 		}
 	}
@@ -402,6 +424,43 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		rep.Server = serverStats(preScrape, postScrape)
 	}
 	return rep, nil
+}
+
+// WaitReady polls baseURL's /readyz every 50ms until it answers 200,
+// the timeout passes, or ctx is cancelled. The last not-ready answer
+// (status code or transport error) is included in the timeout error,
+// so "the daemon never came up" is diagnosable from the harness log.
+func WaitReady(ctx context.Context, client *http.Client, baseURL string, timeout time.Duration) error {
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	deadline := time.Now().Add(timeout)
+	last := "no probe completed"
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Sprintf("last answer %s", resp.Status)
+		} else {
+			last = fmt.Sprintf("last error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: %s/readyz not ready within %v (%s)", baseURL, timeout, last)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
 }
 
 // runClosed keeps cfg.Concurrency clients busy until ctx expires.

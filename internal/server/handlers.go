@@ -258,10 +258,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// readyStatus is the /readyz JSON body. Beyond the gate status it
+// carries the node's fleet identity and its cheap load/budget
+// snapshot, so a coordinator's health poll doubles as its stats poll —
+// one request per node per interval covers liveness, routing load, and
+// power-share bookkeeping.
+type readyStatus struct {
+	Status     string  `json:"status"`
+	Node       string  `json:"node,omitempty"`
+	QueueDepth int     `json:"queue_depth"`
+	CapWatts   float64 `json:"cap_watts"`
+}
+
+func (s *Server) readyStatus(status string) readyStatus {
+	return readyStatus{
+		Status:     status,
+		Node:       s.cfg.NodeID,
+		QueueDepth: s.QueueDepth(),
+		CapWatts:   float64(s.Cap()),
+	}
+}
+
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	switch {
 	case s.Draining():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, s.readyStatus("draining"))
 	case s.Degraded():
 		// Alive but shedding: the journal breaker is open (or probing),
 		// so new work cannot be durably acknowledged. Reported on
@@ -269,10 +290,10 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		// restarting the pod — recovery is automatic once a probe
 		// write succeeds.
 		s.retryHeader(w)
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
+		writeJSON(w, http.StatusServiceUnavailable, s.readyStatus("degraded"))
 	case !s.Ready():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "starting"})
+		writeJSON(w, http.StatusServiceUnavailable, s.readyStatus("starting"))
 	default:
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		writeJSON(w, http.StatusOK, s.readyStatus("ready"))
 	}
 }

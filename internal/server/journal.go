@@ -271,14 +271,16 @@ func jobFromRecord(jr *journal.JobRecord) *Job {
 	return j
 }
 
-// parseJobID extracts the numeric suffix of a "job-%06d" ID so
-// recovery can resume the ID sequence past every restored job.
+// parseJobID extracts the numeric suffix of a "job-%06d" or
+// "<node-id>-job-%06d" ID so recovery can resume the ID sequence past
+// every restored job, including journals written under a different
+// (or no) node identity.
 func parseJobID(id string) (int, bool) {
-	suffix, ok := strings.CutPrefix(id, "job-")
-	if !ok {
+	i := strings.LastIndex(id, "job-")
+	if i < 0 || (i > 0 && id[i-1] != '-') {
 		return 0, false
 	}
-	n, err := strconv.Atoi(suffix)
+	n, err := strconv.Atoi(id[i+len("job-"):])
 	if err != nil || n < 0 {
 		return 0, false
 	}

@@ -57,6 +57,12 @@ type metrics struct {
 	tenantRejected *promtext.CounterVec
 	preemptions    *promtext.Counter
 	oldestWait     *promtext.Gauge
+
+	// nodeInfo is the build-info-style identity series: constant 1 with
+	// the node's stable fleet ID as the label, so fleet-level dashboards
+	// can attribute every other series scraped from this daemon. Only
+	// set when Config.NodeID is configured.
+	nodeInfo *promtext.GaugeVec
 }
 
 func newMetrics() *metrics {
@@ -137,6 +143,8 @@ func newMetrics() *metrics {
 			"Claimed batch members requeued at an epoch boundary for a higher-priority arrival."),
 		oldestWait: reg.NewGauge("corund_oldest_waiting_job_age_seconds",
 			"Age of the oldest queued job (0 when the queue is empty); the starvation signal."),
+		nodeInfo: reg.NewGaugeVec("corund_node_info",
+			"Constant 1, labeled with the daemon's stable fleet node ID (absent without -node-id).", "node"),
 	}
 	// Pre-register every policy's series so dashboards see zeros
 	// instead of absent series before the first epoch.

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"regexp"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,6 +92,16 @@ type Config struct {
 	// Machine and Mem default to the paper's Ivy Bridge-like node.
 	Machine *apu.Config
 	Mem     *memsys.Model
+
+	// NodeID is the daemon's stable fleet identity ([A-Za-z0-9._]{1,32},
+	// dashes allowed but not leading/trailing). When set, job IDs are
+	// minted as "<node-id>-job-%06d" so a fleet coordinator can route
+	// GET /v1/jobs/{id} to the owning shard by prefix, /readyz reports
+	// it, and a corund_node_info{node=...} metric carries it for
+	// fleet-wide aggregation. Empty keeps the single-node "job-%06d"
+	// scheme. Keep it stable across restarts of the same data dir:
+	// recovered jobs keep the IDs they were acknowledged under.
+	NodeID string
 
 	// Char is the offline micro-benchmark characterization; required
 	// for the model-based policies (hcs+, hcs, default).
@@ -354,6 +365,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch < 0 {
 		return nil, fmt.Errorf("server: negative max batch %d", cfg.MaxBatch)
 	}
+	if err := ValidateNodeID(cfg.NodeID); err != nil {
+		return nil, err
+	}
 	adm, err := admission.New(admission.Config{
 		Weights:     cfg.TenantWeights,
 		MaxQueue:    cfg.MaxQueue,
@@ -378,6 +392,9 @@ func New(cfg Config) (*Server, error) {
 		ready:         make(chan struct{}),
 	}
 	s.m.capWatts.Set(float64(cfg.Cap))
+	if cfg.NodeID != "" {
+		s.m.nodeInfo.Set(cfg.NodeID, 1)
+	}
 	s.faults = cfg.Faults
 	s.faults.Subscribe(func(ev fault.Event) {
 		s.m.faultHits.Inc(ev.Site)
@@ -405,6 +422,40 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// nodeIDPattern admits stable fleet identities that embed cleanly in
+// job IDs and metric labels. Dashes are allowed inside (they also
+// separate the ID from the "job-%06d" suffix, which parseJobID and the
+// coordinator's longest-prefix routing both handle), but a leading or
+// trailing dash would make the prefix ambiguous.
+var nodeIDPattern = regexp.MustCompile(`^[A-Za-z0-9._](?:[A-Za-z0-9._-]{0,30}[A-Za-z0-9._])?$`)
+
+// ValidateNodeID checks a fleet node identity; empty is valid (the
+// single-node daemon has no identity to embed).
+func ValidateNodeID(id string) error {
+	if id == "" {
+		return nil
+	}
+	if !nodeIDPattern.MatchString(id) {
+		return fmt.Errorf("server: invalid node ID %q (1-32 of [A-Za-z0-9._-], no leading/trailing dash)", id)
+	}
+	return nil
+}
+
+// NodeID returns the daemon's configured fleet identity ("" for a
+// standalone node).
+func (s *Server) NodeID() string { return s.cfg.NodeID }
+
+// mintJobID issues the next job ID, prefixed with the node identity
+// when one is configured. Callers hold mu.
+func (s *Server) mintJobID() string {
+	n := s.nextID
+	s.nextID++
+	if s.cfg.NodeID != "" {
+		return fmt.Sprintf("%s-job-%06d", s.cfg.NodeID, n)
+	}
+	return fmt.Sprintf("job-%06d", n)
 }
 
 func checkCap(machine *apu.Config, cap units.Watts) error {
@@ -450,8 +501,7 @@ func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
 		s.mu.Unlock()
 		return Job{}, fmt.Errorf("%w: %w", ErrQueueFull, err)
 	}
-	id := fmt.Sprintf("job-%06d", s.nextID)
-	s.nextID++
+	id := s.mintJobID()
 	j := &Job{
 		ID:          id,
 		Program:     spec.Program,
