@@ -1,0 +1,178 @@
+// Command benchdiff compares two `go test -bench` outputs and fails
+// on regressions — an in-repo, dependency-free stand-in for benchstat
+// used by `make benchdiff` and the CI bench-regression gate.
+//
+//	go test -bench=. -benchmem -count=5 ./internal/server > old.txt   # at the merge base
+//	go test -bench=. -benchmem -count=5 ./internal/server > new.txt   # at HEAD
+//	benchdiff -old old.txt -new new.txt -threshold 0.15 -metrics ns/op,B/op
+//
+// For every benchmark present in both files it takes the median of
+// each tracked metric across the repeated runs (the median is robust
+// to one noisy neighbour, which is the whole reason -count>1 exists)
+// and reports the relative delta. A delta above the threshold on any
+// tracked metric is a regression: it is listed and the exit status is
+// 1. Benchmarks present on only one side are reported but never fail
+// the gate, so adding or retiring a benchmark does not break CI.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line:
+//
+//	BenchmarkSubmitHandler-4   39608   28433 ns/op   9865 B/op   49 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// metricPair matches "<value> <unit>" segments of the tail.
+var metricPair = regexp.MustCompile(`([0-9.]+(?:e[+-]?\d+)?)\s+(ns/op|B/op|allocs/op|MB/s)`)
+
+type samples map[string]map[string][]float64 // bench -> metric -> runs
+
+func parse(path string, match *regexp.Regexp) (samples, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := samples{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if match != nil && !match.MatchString(name) {
+			continue
+		}
+		if out[name] == nil {
+			out[name] = map[string][]float64{}
+		}
+		for _, pair := range metricPair.FindAllStringSubmatch(m[2], -1) {
+			v, err := strconv.ParseFloat(pair[1], 64)
+			if err != nil {
+				continue
+			}
+			out[name][pair[2]] = append(out[name][pair[2]], v)
+		}
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline `go test -bench` output (merge base)")
+	newPath := flag.String("new", "", "candidate `go test -bench` output (HEAD)")
+	threshold := flag.Float64("threshold", 0.15, "relative regression that fails the gate (0.15 = +15%)")
+	metricsFlag := flag.String("metrics", "ns/op,B/op", "comma-separated metrics gated on (higher = worse)")
+	matchFlag := flag.String("match", "", "optional regexp restricting which benchmarks are compared")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var match *regexp.Regexp
+	if *matchFlag != "" {
+		var err error
+		if match, err = regexp.Compile(*matchFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad -match: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	gated := map[string]bool{}
+	for _, m := range strings.Split(*metricsFlag, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			gated[m] = true
+		}
+	}
+
+	oldS, err := parse(*oldPath, match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newS, err := parse(*newPath, match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(oldS))
+	for n := range oldS {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	compared := 0
+	fmt.Printf("%-40s %-10s %14s %14s %8s\n", "benchmark", "metric", "old(median)", "new(median)", "delta")
+	for _, name := range names {
+		nw, ok := newS[name]
+		if !ok {
+			fmt.Printf("%-40s only in baseline (skipped)\n", name)
+			continue
+		}
+		metrics := make([]string, 0, len(oldS[name]))
+		for m := range oldS[name] {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			nws, ok := nw[m]
+			if !ok || len(nws) == 0 {
+				continue
+			}
+			om, nm := median(oldS[name][m]), median(nws)
+			var delta float64
+			if om != 0 {
+				delta = (nm - om) / om
+			}
+			mark := ""
+			if gated[m] {
+				compared++
+				if delta > *threshold {
+					mark = "  << REGRESSION"
+					regressions = append(regressions,
+						fmt.Sprintf("%s %s: %.4g -> %.4g (%+.1f%%, threshold %+.1f%%)",
+							name, m, om, nm, delta*100, *threshold*100))
+				}
+			}
+			fmt.Printf("%-40s %-10s %14.4g %14.4g %+7.1f%%%s\n", name, m, om, nm, delta*100, mark)
+		}
+	}
+	for name := range newS {
+		if _, ok := oldS[name]; !ok {
+			fmt.Printf("%-40s only in candidate (skipped)\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no gated metrics compared — wrong files or -match?")
+		os.Exit(2)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d regression(s) past the %.0f%% threshold:\n", len(regressions), *threshold*100)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: OK (%d gated comparisons within %.0f%%)\n", compared, *threshold*100)
+}

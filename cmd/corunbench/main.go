@@ -67,6 +67,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -110,6 +111,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	micro := fs.Bool("microbench", false, "pair the run with in-process journal micro-benchmarks")
 	notes := fs.String("notes", "", "merge this optimization-evidence JSON file into the report")
 	out := fs.String("out", "", "write the JSON report here (empty = stdout)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole run (clients + self-hosted daemon) here")
 	readyTimeout := fs.Duration("ready-timeout", 30*time.Second, "poll the target's /readyz this long before offering load")
 
 	fleetN := fs.Int("fleet", 0, "self-host a fleet: this many corund nodes behind an in-process coordinator (0 = single instance)")
@@ -129,6 +131,18 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	inMemory := fs.Bool("in-memory", false, "self-hosted instance: disable journaling entirely")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	mix, err := loadgen.ParseMix(*mixFlag)
@@ -217,6 +231,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	rep, err := loadgen.Run(ctx, cfg)
 	if err != nil {
 		return err
+	}
+	if *url == "" {
+		// Self-hosted run: disclose the serving conditions in the report.
+		rep.Config.Policy = hc.policy
+		rep.Config.HostCPUs = runtime.NumCPU()
+		rep.Config.GOGC = os.Getenv("GOGC")
 	}
 	if *fleetN > 0 {
 		snap, err := loadgen.FleetSnapshot(ctx, nil, baseURL)

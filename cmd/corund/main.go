@@ -144,6 +144,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for refinement sampling and the random policy")
 	dataDir := flag.String("data-dir", "", "durable state journal directory (empty = in-memory only)")
 	fsync := flag.String("fsync", "always", "journal fsync policy: always | interval | never")
+	jlBatch := flag.Int("journal-batch", 256, "max records the journal writer coalesces into one commit/fsync")
+	jlGather := flag.Duration("journal-gather", time.Millisecond, "group-commit window: how long the writer holds a batch open for in-flight submitters (negative = disabled)")
 	jlRetries := flag.Int("journal-retries", 3, "retries after a transient journal write failure (negative = no retries)")
 	retryBase := flag.Duration("retry-base", 5*time.Millisecond, "initial journal retry backoff (doubles per attempt, jittered)")
 	retryMax := flag.Duration("retry-max", 250*time.Millisecond, "journal retry backoff ceiling")
@@ -170,6 +172,8 @@ func main() {
 	cfg.TenantWeights = weights
 	cfg.TenantQueue = *tenantQueue
 	cfg.MaxBatch = *maxBatch
+	cfg.JournalBatch = *jlBatch
+	cfg.JournalGather = *jlGather
 	cfg.JournalRetries = *jlRetries
 	cfg.RetryBase = *retryBase
 	cfg.RetryMax = *retryMax

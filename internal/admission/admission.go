@@ -214,6 +214,10 @@ type Selector interface {
 	// the age of the oldest queued entry (0 when idle).
 	TenantDepth(tenant string) int
 	Depths() map[string]int
+	// EachDepth visits every tenant's queue depth without allocating
+	// the Depths map — the gauge-refresh path runs it once per claimed
+	// batch.
+	EachDepth(fn func(tenant string, depth int))
 	DrainRate(tenant string) float64
 	OldestWait(now time.Time) time.Duration
 }
@@ -514,6 +518,13 @@ func (q *Queue) Depths() map[string]int {
 		out[name] = t.depth
 	}
 	return out
+}
+
+// EachDepth visits every tenant's queue depth, allocation-free.
+func (q *Queue) EachDepth(fn func(tenant string, depth int)) {
+	for name, t := range q.tenants {
+		fn(name, t.depth)
+	}
 }
 
 // DrainRate is one tenant's EWMA drain rate in jobs/sec (0 until the

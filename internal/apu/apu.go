@@ -12,6 +12,7 @@ package apu
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"corun/internal/units"
 )
@@ -94,6 +95,29 @@ type Config struct {
 	// TDP is the nominal thermal design power in watts; power caps in
 	// the experiments are well below it.
 	TDP units.Watts
+
+	// powMemo caches the f^exp evaluations behind DynPower, which sit
+	// on the simulator's per-sample path (the governor alone evaluates
+	// the curve several times per tick). Entries carry the inputs they
+	// were computed from and are verified on every read, so a Config
+	// mutated in place after first use falls back to the direct
+	// computation instead of ever returning a stale value. The pointer
+	// makes lazy initialization safe for planners running concurrently
+	// (fleet nodes share one Config). Copying a Config by value is
+	// already excluded by the "immutable, single shared instance"
+	// contract above.
+	powMemo atomic.Pointer[powMemoTable]
+}
+
+// powMemoTable is one immutable snapshot of the dynamic-power curve,
+// indexed [device][level].
+type powMemoTable [NumDevices][]powMemoEntry
+
+// powMemoEntry is one memoized DynPower evaluation plus the exact
+// inputs it was derived from.
+type powMemoEntry struct {
+	f, coeff, exp float64
+	pow           float64
 }
 
 // DefaultConfig returns the i7-3520M-like machine used throughout the
@@ -229,13 +253,49 @@ func (c *Config) ClosestFreqIndex(d Device, ghz units.GHz) int {
 }
 
 // DynPower returns the full-activity dynamic power of device d at
-// frequency level idx.
+// frequency level idx. The power curve P = coeff * f^exp is memoized
+// per (device, level) — the levels are a small discrete ladder, and
+// this evaluation dominates the simulator's sample loop otherwise.
 func (c *Config) DynPower(d Device, idx int) units.Watts {
 	f := float64(c.Freq(d, idx))
+	coeff, exp := c.GPUPowerCoeff, c.GPUPowerExp
+	di := 1
 	if d == CPU {
-		return units.Watts(c.CPUPowerCoeff * math.Pow(f, c.CPUPowerExp))
+		coeff, exp = c.CPUPowerCoeff, c.CPUPowerExp
+		di = 0
 	}
-	return units.Watts(c.GPUPowerCoeff * math.Pow(f, c.GPUPowerExp))
+	t := c.powMemo.Load()
+	if t == nil {
+		t = c.buildPowMemo()
+		c.powMemo.Store(t)
+	}
+	if es := t[di]; idx >= 0 && idx < len(es) {
+		if e := es[idx]; e.f == f && e.coeff == coeff && e.exp == exp {
+			return units.Watts(e.pow)
+		}
+	}
+	return units.Watts(coeff * math.Pow(f, exp))
+}
+
+// buildPowMemo evaluates the full dynamic-power ladder of both devices
+// with exactly the arithmetic DynPower's direct path uses, so the
+// memoized and unmemoized answers are bit-for-bit identical.
+func (c *Config) buildPowMemo() *powMemoTable {
+	var t powMemoTable
+	for di, d := range [NumDevices]Device{CPU, GPU} {
+		coeff, exp := c.CPUPowerCoeff, c.CPUPowerExp
+		if d == GPU {
+			coeff, exp = c.GPUPowerCoeff, c.GPUPowerExp
+		}
+		fs := c.Freqs(d)
+		es := make([]powMemoEntry, len(fs))
+		for i, fq := range fs {
+			f := float64(fq)
+			es[i] = powMemoEntry{f: f, coeff: coeff, exp: exp, pow: coeff * math.Pow(f, exp)}
+		}
+		t[di] = es
+	}
+	return &t
 }
 
 // ActivityPower returns the dynamic power of device d at level idx when

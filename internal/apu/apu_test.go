@@ -263,3 +263,37 @@ func TestPowerMonotoneInFrequencyProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// DynPower's memo must be invisible: bit-for-bit equal to the direct
+// formula on first and repeated reads, and never stale after the
+// Config is mutated in place (the memo verifies its inputs per read).
+func TestDynPowerMemoTransparent(t *testing.T) {
+	cfg := DefaultConfig()
+	direct := func(d Device, idx int) units.Watts {
+		f := float64(cfg.Freq(d, idx))
+		if d == CPU {
+			return units.Watts(cfg.CPUPowerCoeff * math.Pow(f, cfg.CPUPowerExp))
+		}
+		return units.Watts(cfg.GPUPowerCoeff * math.Pow(f, cfg.GPUPowerExp))
+	}
+	for _, d := range []Device{CPU, GPU} {
+		for i := 0; i < cfg.NumFreqs(d); i++ {
+			for rep := 0; rep < 2; rep++ {
+				if got, want := cfg.DynPower(d, i), direct(d, i); got != want {
+					t.Fatalf("%v level %d read %d: memoized %v != direct %v", d, i, rep, got, want)
+				}
+			}
+		}
+	}
+	// In-place mutations of every memo input: the next read must track.
+	cfg.CPUFreqs[3] *= 1.5
+	cfg.GPUPowerCoeff *= 2
+	cfg.CPUPowerExp = 2.1
+	for _, d := range []Device{CPU, GPU} {
+		for i := 0; i < cfg.NumFreqs(d); i++ {
+			if got, want := cfg.DynPower(d, i), direct(d, i); got != want {
+				t.Fatalf("%v level %d after mutation: memoized %v != direct %v", d, i, got, want)
+			}
+		}
+	}
+}

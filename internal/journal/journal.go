@@ -359,6 +359,19 @@ func (j *Journal) Sync() error {
 	return j.syncTo(target)
 }
 
+// DurableSeq returns the highest sequence number known flushed and
+// fsynced — the durability watermark an acknowledged write can be
+// checked against. Safe for concurrent use.
+func (j *Journal) DurableSeq() uint64 { return j.durable.Load() }
+
+// LastSeq returns the highest sequence number assigned so far
+// (appended, though not necessarily durable yet).
+func (j *Journal) LastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
 // syncTo makes every record up to target durable. The double-checked
 // durable watermark is the group commit: an appender that arrives
 // while another's fsync is in flight blocks on syncMu, and by the

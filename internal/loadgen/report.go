@@ -13,12 +13,14 @@ import (
 // benchIndex stamps the report with the bench-trajectory index of the
 // harness's current schema; BENCH_<benchIndex>.json is the canonical
 // output name. Bumped to 7 when the multi-tenant mix and per-tenant
-// latency sections were added. Fleet runs (the harness pointed at a
-// corund -coordinator) stamp benchIndexFleet instead — they answer a
-// different question (fleet scaling vs single-node serving cost), so
-// they get their own trajectory slot.
+// latency sections were added, and to 9 for the sharded, async-commit
+// serving path (single-node throughput is measured against the
+// batched-fsync journal writer from 9 on). Fleet runs (the harness
+// pointed at a corund -coordinator) stamp benchIndexFleet instead —
+// they answer a different question (fleet scaling vs single-node
+// serving cost), so they get their own trajectory slot.
 const (
-	benchIndex      = 7
+	benchIndex      = 9
 	benchIndexFleet = 8
 )
 
@@ -36,6 +38,14 @@ type RunConfig struct {
 	Tenants      string  `json:"tenants,omitempty"`
 	ReadFraction float64 `json:"read_fraction"`
 	Seed         int64   `json:"seed"`
+
+	// Policy, HostCPUs, and GOGC disclose the conditions a self-hosted
+	// run measured under — the harness fills them in so a throughput
+	// headline cannot silently hide the epoch policy it ran with or the
+	// core count the daemon, clients, and scheduler time-shared.
+	Policy   string `json:"policy,omitempty"`
+	HostCPUs int    `json:"host_cpus,omitempty"`
+	GOGC     string `json:"gogc,omitempty"`
 }
 
 // EndpointReport is one endpoint's measurement window: successful

@@ -15,11 +15,13 @@ import (
 // 80µs cache hits and 4s fsync stalls records both with the same
 // ~Growth-factor resolution.
 //
-// Quantile reports the upper bound of the bucket holding the
-// nearest-rank observation, so quantiles are conservative (never
-// under-report) and monotone by construction: for q1 ≤ q2,
-// Quantile(q1) ≤ Quantile(q2). All methods are safe for concurrent
-// use.
+// Quantile locates the bucket holding the nearest-rank observation
+// and interpolates log-linearly within it by the rank's position among
+// the bucket's observations, so distinct high quantiles that share one
+// bucket still report distinct values instead of collapsing onto the
+// bucket edge. Results stay monotone (for q1 ≤ q2, Quantile(q1) ≤
+// Quantile(q2)) and are clamped to the largest observation. All
+// methods are safe for concurrent use.
 type LogHistogram struct {
 	nm, hp string
 	min    float64
@@ -135,10 +137,15 @@ func (h *LogHistogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
-// Quantile returns an upper bound on the q-quantile (q in [0, 1]) of
-// everything observed so far: the upper bound of the bucket holding
-// the nearest-rank observation. Below-range observations report min,
-// above-range ones report the recorded max. NaN before any
+// Quantile estimates the q-quantile (q in [0, 1]) of everything
+// observed so far: it finds the bucket holding the nearest-rank
+// observation and interpolates log-linearly within it — the rank's
+// position among the bucket's observations picks the point between
+// the bucket's geometric edges. Without the interpolation every
+// quantile that lands in one bucket reports the same edge, which is
+// exactly how p99 and p999 collapse together once the tail fits in a
+// single geometric bucket. The estimate is clamped to the largest
+// observation. Below-range observations report min. NaN before any
 // observation; panics outside [0, 1].
 func (h *LogHistogram) Quantile(q float64) float64 {
 	if q < 0 || q > 1 {
@@ -160,10 +167,22 @@ func (h *LogHistogram) Quantile(q float64) float64 {
 		return h.min
 	}
 	for i, c := range h.buckets {
-		cum += c
-		if cum >= rank {
-			return h.bound(i)
+		if cum+c >= rank {
+			// The rank sits (rank-cum) deep into this bucket's c
+			// observations; place it that fraction of the way between
+			// the bucket's edges, geometrically (the bucket itself is
+			// geometric, so log-linear is the natural interpolation).
+			frac := float64(rank-cum) / float64(c)
+			v := h.min * math.Pow(h.growth, float64(i)+frac)
+			// No observation exceeds the recorded max, so neither
+			// should the estimate (clamping is monotone, so ordering
+			// across quantiles is preserved).
+			if h.max > 0 && v > h.max {
+				v = h.max
+			}
+			return v
 		}
+		cum += c
 	}
 	return h.max
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -106,12 +107,23 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	spec, err := workload.DecodeJobSpec(http.MaxBytesReader(w, r.Body, 1<<20))
+	// The pooled buffer serves twice: first it holds the request body,
+	// then (once the decoded spec has copied what it needs) the
+	// response encoding — zero steady-state allocation either way.
+	buf := reqBufPool.Get().(*reqBuf)
+	defer func() { reqBufPool.Put(buf) }()
+	var err error
+	buf.b, err = readBody(http.MaxBytesReader(w, r.Body, 1<<20), buf.b)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.Submit(spec)
+	spec, err := workload.DecodeJobSpecBytes(buf.b)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.submit(spec)
 	switch {
 	case errors.Is(err, ErrDraining):
 		writeErr(w, http.StatusServiceUnavailable, err)
@@ -147,8 +159,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	out := appendJobJSON(buf.b[:0], job)
+	out = append(out, '\n')
+	buf.b = out
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
-	writeJSON(w, http.StatusAccepted, job)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_, _ = w.Write(out)
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
@@ -164,21 +181,46 @@ func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	job, ok := s.Job(id)
-	if !ok {
+	j := s.jobRef(id)
+	if j == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("server: unknown job %q", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, job)
+	// Encode straight off the immutable snapshot — no copy, no
+	// reflection, one pooled buffer.
+	buf := reqBufPool.Get().(*reqBuf)
+	out := appendJobJSON(buf.b[:0], j)
+	out = append(out, '\n')
+	buf.b = out
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out)
+	reqBufPool.Put(buf)
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
-	plan, ok := s.Plan()
-	if !ok {
+	pv := s.lastPlan.Load()
+	if pv == nil {
 		writeErr(w, http.StatusNotFound, errors.New("server: no epoch has been planned yet"))
 		return
 	}
-	writeJSON(w, http.StatusOK, plan)
+	// Stored PlanViews are immutable, so the encoded body is cached by
+	// pointer identity: between epochs, polls reuse the same bytes.
+	c := s.planCache.Load()
+	if c == nil || c.pv != pv {
+		var bb bytes.Buffer
+		enc := json.NewEncoder(&bb)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(pv); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		c = &planCacheEntry{pv: pv, body: bb.Bytes()}
+		s.planCache.Store(c)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(c.body)
 }
 
 func (s *Server) handleGetCap(w http.ResponseWriter, _ *http.Request) {

@@ -58,10 +58,10 @@ func (s *Server) openJournal() error {
 		if err := checkCap(s.cfg.Machine, cap); err != nil {
 			return fail(fmt.Errorf("server: recovered power cap: %w", err))
 		}
-		s.capW = cap
+		s.setCapWatts(cap)
 		s.m.capWatts.Set(float64(cap))
 	} else {
-		w := float64(s.capW)
+		w := float64(s.capWatts())
 		if err := jl.Append(journal.Record{Type: journal.TypeCapChanged, CapWatts: &w}); err != nil {
 			return fail(err)
 		}
@@ -75,9 +75,9 @@ func (s *Server) openJournal() error {
 		if err := probe.Validate(); err != nil {
 			return fail(fmt.Errorf("server: recovered policy: %w", err))
 		}
-		s.policy = p
+		s.setPolicyNow(p)
 	} else {
-		if err := jl.Append(journal.Record{Type: journal.TypePolicyChanged, Policy: s.policy.String()}); err != nil {
+		if err := jl.Append(journal.Record{Type: journal.TypePolicyChanged, Policy: s.policyNow().String()}); err != nil {
 			return fail(err)
 		}
 	}
@@ -109,16 +109,17 @@ func (s *Server) openJournal() error {
 			})
 			requeued++
 		}
-		s.jobs[j.ID] = j
-		s.order = append(s.order, j.ID)
-		if n, ok := parseJobID(j.ID); ok && n >= s.nextID {
-			s.nextID = n + 1
+		s.table.insert(j)
+		if n, ok := parseJobID(j.ID); ok && int64(n) >= s.nextID.Load() {
+			s.nextID.Store(int64(n) + 1)
 		}
 	}
-	s.simClock = units.Seconds(st.SimClockS)
+	s.setClock(units.Seconds(st.SimClockS))
 
+	s.admMu.Lock()
 	s.syncQueueGauges()
-	s.m.simClock.Set(float64(s.simClock))
+	s.admMu.Unlock()
+	s.m.simClock.Set(float64(s.clock()))
 	s.m.jlRecovered.Set(float64(requeued))
 	s.m.jlTruncated.Set(float64(stats.TruncatedTailBytes))
 	return nil
@@ -186,7 +187,18 @@ func (s *Server) journalAppend(recs []journal.Record) {
 	if s.jl == nil || len(recs) == 0 {
 		return
 	}
-	if err := s.appendDurable(recs...); err != nil {
+	// Route through the writer goroutine so the scheduler's terminal
+	// records share batches (and fsyncs) with in-flight submission acks
+	// instead of contending with them on the journal lock. The call
+	// still blocks until the batch is durable, so drain and recovery
+	// semantics are unchanged. The writer is stopped only after the
+	// scheduler loop exits (Close), so ErrClosed here means a direct
+	// append raced an explicit Close — fall through to the old path.
+	err := s.jw.submit(recs)
+	if errors.Is(err, journal.ErrClosed) {
+		err = s.appendDurable(recs...)
+	}
+	if err != nil {
 		if !errors.Is(err, ErrDegraded) && !errors.Is(err, journal.ErrClosed) {
 			s.m.jlErrors.Inc()
 		}

@@ -40,6 +40,9 @@ type metrics struct {
 	// Failure-handling instrumentation: journal write retries and
 	// drops, the circuit breaker, load shedding, and the failpoint
 	// registry's per-site counters.
+	jlBatches      *promtext.Counter
+	jlBatchRecords *promtext.Histogram
+
 	jlRetries     *promtext.Counter
 	jlDropped     *promtext.Counter
 	jlSnapErrors  *promtext.Counter
@@ -117,6 +120,11 @@ func newMetrics() *metrics {
 		jlAppendLatency: reg.NewSummary("corund_journal_append_latency_seconds",
 			"Latency of journal appends, including any group-commit fsync wait.",
 			[]float64{0.5, 0.9, 0.99}),
+		jlBatches: reg.NewCounter("corund_journal_batches_total",
+			"Commits issued by the journal writer goroutine (each is one Append and at most one fsync, shared by every submission it coalesced)."),
+		jlBatchRecords: reg.NewHistogram("corund_journal_batch_records",
+			"Records coalesced per journal writer commit.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 		jlRetries: reg.NewCounter("corund_journal_retries_total",
 			"Journal write retries (backoff attempts past the first)."),
 		jlDropped: reg.NewCounter("corund_journal_dropped_records_total",

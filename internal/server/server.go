@@ -30,6 +30,16 @@
 // policy, scheduling clock, and job table, re-enqueuing every
 // non-terminal job. The drain path flushes and fsyncs the journal
 // before the loop exits.
+//
+// Serving-path concurrency model (see DESIGN.md §2h): there is no
+// global server mutex. The job table is striped with immutable
+// atomic-pointer snapshots (jobTable), journal commits flow through a
+// dedicated writer goroutine that batches concurrent submitters into
+// one fsync (journalWriter), the admission selector and the draining
+// flag sit behind the small admMu, cap/policy/clock/plan are atomics,
+// and everything else — epoch planning, queue-shape gauges, trace
+// bookkeeping — belongs to the scheduler goroutine, off the request
+// path.
 package server
 
 import (
@@ -165,6 +175,19 @@ type Config struct {
 	// threshold (0 = the journal's default). Ignored without DataDir.
 	SnapshotBytes int64
 
+	// JournalBatch bounds how many records the journal writer
+	// goroutine coalesces into one commit (one Append, one fsync under
+	// FsyncAlways). Defaults to 256. Ignored without DataDir.
+	JournalBatch int
+
+	// JournalGather is the writer's group-commit window: when more
+	// committers are in flight than the writer has collected, it holds
+	// the batch open up to this long so they share one fsync. A lone
+	// sequential committer never waits (the gate is the in-flight
+	// count, not a fixed delay). Defaults to 1ms; negative disables.
+	// Ignored without DataDir.
+	JournalGather time.Duration
+
 	// Faults is the failpoint registry checked at the daemon's
 	// injection sites (SiteAdmit, SiteEpoch, and the journal's sites);
 	// nil uses fault.Default, which costs one atomic load while
@@ -219,6 +242,12 @@ func (c *Config) withDefaults() Config {
 	if out.DrainTimeout == 0 {
 		out.DrainTimeout = 30 * time.Second
 	}
+	if out.JournalBatch == 0 {
+		out.JournalBatch = 256
+	}
+	if out.JournalGather == 0 {
+		out.JournalGather = time.Millisecond
+	}
 	if out.Faults == nil {
 		out.Faults = fault.Default
 	}
@@ -241,7 +270,8 @@ func (c *Config) withDefaults() Config {
 }
 
 // PlanView is the JSON form of one epoch's schedule, served by
-// GET /v1/plan. Orders reference job IDs.
+// GET /v1/plan. Orders reference job IDs. A stored PlanView is
+// immutable — updates build and publish a fresh one.
 type PlanView struct {
 	Epoch  int      `json:"epoch"`
 	Policy string   `json:"policy"`
@@ -278,12 +308,39 @@ func (p *PlanView) clone() PlanView {
 	return out
 }
 
+// jobsCacheEntry is one immutable encoded GET /v1/jobs response,
+// keyed by the table version captured BEFORE the table was iterated
+// (see jobsJSON for why that side matters).
+type jobsCacheEntry struct {
+	version uint64
+	body    []byte
+}
+
+// planCacheEntry caches the encoded GET /v1/plan body for one stored
+// PlanView (matched by pointer identity — stored views are immutable).
+type planCacheEntry struct {
+	pv   *PlanView
+	body []byte
+}
+
 // Server is the daemon: job table, scheduler goroutine, metrics, and
 // (when configured with a data dir) the durable state journal.
+//
+// Locking, from hot to cold:
+//   - none: job reads (table snapshots), cap/policy/clock/plan reads,
+//     the draining fast check — all atomics.
+//   - admMu: the admission selector and every decision that must be
+//     atomic with it (reserve/enqueue/claim/preempt, the post-journal
+//     draining re-check, the loop's exit decision).
+//   - jobsCacheMu / traceMu / ctlMu / arena.mu: small, single-purpose.
+//
+// The scheduler goroutine exclusively owns epochCount and the private
+// batch copies it mutates between publishes.
 type Server struct {
 	cfg    Config
 	m      *metrics
 	jl     *journal.Journal // nil without Config.DataDir
+	jw     *journalWriter   // non-nil exactly when jl is
 	faults *fault.Registry
 	brk    *fault.Breaker // nil when Config.BreakerThreshold < 0
 	bo     fault.Backoff  // journal write retry schedule
@@ -298,34 +355,43 @@ type Server struct {
 	ctlMu sync.Mutex
 
 	// adm owns job ordering and eligibility: tenant queues, priority
-	// classes, WFQ arbitration, and both admission bounds. The server
-	// keeps the job table, journal, and lifecycle; every adm call is
-	// made under mu so ordering stays atomic with the job table.
-	adm admission.Selector
+	// classes, WFQ arbitration, and both admission bounds. Every adm
+	// call is made under admMu, as is every draining decision that
+	// must be atomic with the queue (a Queue is not concurrency-safe).
+	admMu    sync.Mutex
+	adm      admission.Selector
+	draining atomic.Bool
 
-	mu         sync.Mutex
-	jobs       map[string]*Job
-	order      []string
-	nextID     int
-	capW       units.Watts
-	policy     online.Policy
-	simClock   units.Seconds
+	// table is the sharded job table; arena slab-allocates the records
+	// it publishes; nextID mints IDs lock-free.
+	table    jobTable
+	arena    jobArena
+	nextID   atomic.Int64
+	idPrefix string // "job-" or "<node-id>-job-"
+
+	// Control state read on the request path, written by control calls
+	// and the scheduler: float64 bit patterns and pointers.
+	capBits   atomic.Uint64            // units.Watts
+	policyV   atomic.Pointer[string]   // online.Policy as string
+	simClock  atomic.Uint64            // units.Seconds
+	lastPlan  atomic.Pointer[PlanView] // immutable once stored
+	planCache atomic.Pointer[planCacheEntry]
+
+	// epochCount is owned by the scheduler goroutine (recovery writes
+	// it before the loop starts).
 	epochCount int
-	lastPlan   *PlanView
-	draining   bool
 
-	// jobsVersion counts job-table mutations; GET /v1/jobs reuses its
-	// encoded response while the version is unchanged, so dashboards
-	// polling a quiet daemon do not re-marshal the whole table.
-	jobsVersion uint64
+	// jobsCache is the version-keyed encoded GET /v1/jobs response;
+	// jobsCacheMu serializes rebuilds (readers never take it).
+	jobsCacheMu sync.Mutex
+	jobsCache   atomic.Pointer[jobsCacheEntry]
 
-	// jobsCacheMu guards the encoded GET /v1/jobs response. It is
-	// separate from (and acquired before) mu so encoding happens
-	// outside the scheduler's critical section.
-	jobsCacheMu  sync.Mutex
-	jobsCacheVer uint64
-	jobsCache    []byte
+	// testHookListSnapshot, when set by a test, runs inside jobsJSON
+	// after the table snapshot is taken and before the cache entry is
+	// stored — the window where the version-capture order matters.
+	testHookListSnapshot func()
 
+	traceMu       sync.Mutex
 	traceMakespan *trace.Series
 	tracePower    *trace.Series
 	traceBatch    *trace.Series
@@ -380,9 +446,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:           cfg,
 		adm:           adm,
 		m:             newMetrics(),
-		jobs:          map[string]*Job{},
-		capW:          cfg.Cap,
-		policy:        cfg.Policy,
+		idPrefix:      "job-",
 		traceMakespan: trace.NewSeries("epoch_makespan", "s"),
 		tracePower:    trace.NewSeries("epoch_avg_power", "W"),
 		traceBatch:    trace.NewSeries("epoch_jobs", "count"),
@@ -391,10 +455,14 @@ func New(cfg Config) (*Server, error) {
 		drained:       make(chan struct{}),
 		ready:         make(chan struct{}),
 	}
-	s.m.capWatts.Set(float64(cfg.Cap))
+	s.table.init()
 	if cfg.NodeID != "" {
+		s.idPrefix = cfg.NodeID + "-job-"
 		s.m.nodeInfo.Set(cfg.NodeID, 1)
 	}
+	s.setCapWatts(cfg.Cap)
+	s.setPolicyNow(cfg.Policy)
+	s.m.capWatts.Set(float64(cfg.Cap))
 	s.faults = cfg.Faults
 	s.faults.Subscribe(func(ev fault.Event) {
 		s.m.faultHits.Inc(ev.Site)
@@ -420,6 +488,15 @@ func New(cfg Config) (*Server, error) {
 		if err := s.openJournal(); err != nil {
 			return nil, err
 		}
+		s.jw = newJournalWriter(
+			func(recs []journal.Record) error { return s.appendDurable(recs...) },
+			cfg.JournalBatch,
+			cfg.JournalGather,
+			func(reqs, recs int) {
+				s.m.jlBatches.Inc()
+				s.m.jlBatchRecords.Observe(float64(recs))
+			},
+		)
 	}
 	return s, nil
 }
@@ -448,14 +525,13 @@ func ValidateNodeID(id string) error {
 func (s *Server) NodeID() string { return s.cfg.NodeID }
 
 // mintJobID issues the next job ID, prefixed with the node identity
-// when one is configured. Callers hold mu.
+// when one is configured. Lock-free.
 func (s *Server) mintJobID() string {
-	n := s.nextID
-	s.nextID++
-	if s.cfg.NodeID != "" {
-		return fmt.Sprintf("%s-job-%06d", s.cfg.NodeID, n)
-	}
-	return fmt.Sprintf("job-%06d", n)
+	n := s.nextID.Add(1) - 1
+	buf := make([]byte, 0, len(s.idPrefix)+12)
+	buf = append(buf, s.idPrefix...)
+	buf = appendPaddedInt(buf, n, 6)
+	return string(buf)
 }
 
 func checkCap(machine *apu.Config, cap units.Watts) error {
@@ -468,6 +544,27 @@ func checkCap(machine *apu.Config, cap units.Watts) error {
 	return nil
 }
 
+// Atomic accessors for the control state read on the request path.
+
+func (s *Server) setCapWatts(c units.Watts) { s.capBits.Store(math.Float64bits(float64(c))) }
+
+func (s *Server) capWatts() units.Watts {
+	return units.Watts(math.Float64frombits(s.capBits.Load()))
+}
+
+func (s *Server) setPolicyNow(p online.Policy) {
+	str := string(p)
+	s.policyV.Store(&str)
+}
+
+func (s *Server) policyNow() online.Policy { return online.Policy(*s.policyV.Load()) }
+
+func (s *Server) setClock(c units.Seconds) { s.simClock.Store(math.Float64bits(float64(c))) }
+
+func (s *Server) clock() units.Seconds {
+	return units.Seconds(math.Float64frombits(s.simClock.Load()))
+}
+
 // Submit admits one job, returning its initial record. ErrDraining and
 // ErrQueueFull report admission refusals (a queue-full error also
 // carries the *admission.FullError naming the exhausted bound); other
@@ -477,33 +574,45 @@ func checkCap(machine *apu.Config, cap units.Watts) error {
 // the log can never hold a job's state transition ahead of its
 // submission.
 func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
+	j, err := s.submit(spec)
+	if err != nil {
+		return Job{}, err
+	}
+	return *j, nil
+}
+
+// submit is the hot admission path; the returned *Job is the
+// published immutable snapshot (handlers encode straight from it).
+func (s *Server) submit(spec workload.JobSpec) (*Job, error) {
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
-		return Job{}, err
+		return nil, err
 	}
 	class, _ := admission.ParseClass(spec.Priority) // validated above
 	if err := s.faults.Hit(SiteAdmit); err != nil {
 		s.m.rejected.Inc()
-		return Job{}, err
-	}
-	s.mu.Lock()
-	if s.draining {
-		s.m.rejected.Inc()
-		s.mu.Unlock()
-		return Job{}, ErrDraining
+		return nil, err
 	}
 	// The reservation holds admission capacity while the journal write
 	// is in flight, so concurrent submitters cannot overshoot the
 	// global or tenant bound during the unlocked window below.
+	s.admMu.Lock()
+	if s.draining.Load() {
+		s.admMu.Unlock()
+		s.m.rejected.Inc()
+		return nil, ErrDraining
+	}
 	if err := s.adm.Reserve(spec.Tenant); err != nil {
+		s.admMu.Unlock()
 		s.m.rejected.Inc()
 		s.m.tenantRejected.Inc(admission.CanonicalTenant(spec.Tenant))
-		s.mu.Unlock()
-		return Job{}, fmt.Errorf("%w: %w", ErrQueueFull, err)
+		return nil, fmt.Errorf("%w: %w", ErrQueueFull, err)
 	}
-	id := s.mintJobID()
-	j := &Job{
-		ID:          id,
+	s.admMu.Unlock()
+
+	j := s.arena.get()
+	*j = Job{
+		ID:          s.mintJobID(),
 		Program:     spec.Program,
 		Scale:       spec.Scale,
 		Label:       spec.Label,
@@ -512,135 +621,141 @@ func (s *Server) Submit(spec workload.JobSpec) (Job, error) {
 		Priority:    spec.Priority,
 		State:       JobQueued,
 		SubmittedAt: time.Now().UTC(),
-		ArrivedSimS: float64(s.simClock),
+		ArrivedSimS: float64(s.clock()),
 		spec:        spec,
 	}
 	if s.jl != nil {
-		s.mu.Unlock()
-		err := s.appendDurable(journal.Record{Type: journal.TypeJobSubmitted, Job: recordFromJob(j)})
-		s.mu.Lock()
+		// The writer goroutine coalesces this record with every other
+		// in-flight submission into one commit (one fsync); the ack
+		// waits only for its own batch.
+		err := s.jw.submit([]journal.Record{{Type: journal.TypeJobSubmitted, Job: recordFromJob(j)}})
 		if err != nil {
+			s.admMu.Lock()
 			s.adm.Unreserve(spec.Tenant)
+			s.admMu.Unlock()
 			s.m.rejected.Inc()
-			s.mu.Unlock()
 			switch {
 			case errors.Is(err, journal.ErrClosed):
-				return Job{}, ErrDraining
+				return nil, ErrDraining
 			case errors.Is(err, ErrDegraded):
 				s.m.shed.Inc()
-				return Job{}, ErrDegraded
+				return nil, ErrDegraded
 			}
-			return Job{}, fmt.Errorf("%w: journaling submission: %v", ErrJournal, err)
-		}
-		// A drain can begin while the lock was released for the journal
-		// write; the scheduler loop may already have flushed its final
-		// round and exited. Enqueuing now would ack a job nothing will
-		// ever run, so refuse it. (The submission record is already on
-		// disk — restart recovery re-enqueues the job, the documented
-		// at-least-once side of the durability guarantee.)
-		if s.draining {
-			s.adm.Unreserve(spec.Tenant)
-			s.m.rejected.Inc()
-			s.mu.Unlock()
-			return Job{}, ErrDraining
+			return nil, fmt.Errorf("%w: journaling submission: %v", ErrJournal, err)
 		}
 	}
-	s.jobs[id] = j
-	s.order = append(s.order, id)
+	s.admMu.Lock()
+	// A drain can begin while the journal commit was in flight; the
+	// scheduler loop may already have flushed its final round and
+	// exited. Enqueuing now would ack a job nothing will ever run, so
+	// refuse it. (The submission record is already on disk — restart
+	// recovery re-enqueues the job, the documented at-least-once side
+	// of the durability guarantee.)
+	if s.draining.Load() {
+		s.adm.Unreserve(spec.Tenant)
+		s.admMu.Unlock()
+		s.m.rejected.Inc()
+		return nil, ErrDraining
+	}
+	// Publish before AddReserved: once the entry is selectable the
+	// scheduler will publish transitions for it, which requires the
+	// table to know the job. From here on j is immutable.
+	s.table.insert(j)
 	s.adm.AddReserved(admission.Entry{
-		ID: id, Tenant: j.Tenant, Class: class,
+		ID: j.ID, Tenant: j.Tenant, Class: class,
 		EnqueuedAt: j.SubmittedAt, Payload: j,
 	})
-	s.jobsVersion++
+	depth, tenantDepth := s.adm.Len(), s.adm.TenantDepth(j.Tenant)
+	s.admMu.Unlock()
+	// The two cheap queue gauges update per admission so depth is
+	// observable before the scheduler ever claims; the expensive scan
+	// (oldest wait, all-tenant sweep) stays on the claim path.
+	s.m.queueDepth.Set(float64(depth))
+	s.m.tenantQueued.Set(j.Tenant, float64(tenantDepth))
 	s.m.submitted.Inc()
 	s.m.tenantAdmitted.Inc(j.Tenant)
-	s.syncQueueGauges()
-	out := *j // snapshot before the scheduler can touch the job
-	s.mu.Unlock()
 	select {
 	case s.wake <- struct{}{}:
 	default:
 	}
-	return out, nil
+	return j, nil
 }
 
 // syncQueueGauges refreshes the queue-shape gauges from the admission
-// state. Callers hold mu.
+// state. Callers hold admMu. Runs only on the scheduler goroutine's
+// claim/exit path — never on the request path.
 func (s *Server) syncQueueGauges() {
 	s.m.queueDepth.Set(float64(s.adm.Len()))
-	for tenant, depth := range s.adm.Depths() {
+	s.adm.EachDepth(func(tenant string, depth int) {
 		s.m.tenantQueued.Set(tenant, float64(depth))
-	}
+	})
 	s.m.oldestWait.Set(s.adm.OldestWait(time.Now().UTC()).Seconds())
 }
 
 // Job returns a snapshot of one job by ID.
 func (s *Server) Job(id string) (Job, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
-		return Job{}, false
+	if j := s.table.get(id); j != nil {
+		return *j, true
 	}
-	return *j, true
+	return Job{}, false
 }
+
+// jobRef returns the job's current immutable snapshot (nil if
+// unknown); handlers encode from it without copying.
+func (s *Server) jobRef(id string) *Job { return s.table.get(id) }
 
 // Jobs returns snapshots of every job in submission order.
-func (s *Server) Jobs() []Job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.jobsLocked()
-}
-
-func (s *Server) jobsLocked() []Job {
-	out := make([]Job, len(s.order))
-	for i, id := range s.order {
-		out[i] = *s.jobs[id]
-	}
-	return out
-}
+func (s *Server) Jobs() []Job { return s.table.snapshotOrdered() }
 
 // jobsJSON returns the encoded GET /v1/jobs response body. The
-// encoding is cached against jobsVersion: while no job changes state,
-// repeated polls (the dashboard pattern) reuse the same bytes instead
-// of re-snapshotting and re-marshalling the whole table. Callers must
-// not mutate the returned slice.
+// encoding is cached against the table version: while no job changes
+// state, repeated polls (the dashboard pattern) reuse the same bytes.
+// Callers must not mutate the returned slice.
+//
+// The cache entry is keyed by the version captured BEFORE the table
+// is iterated. Under striping the iteration is not atomic — jobs can
+// transition mid-walk — so the body may contain state newer than the
+// captured version, never older. Keying by the pre-iteration version
+// makes that safe: any write acked after the capture bumps the
+// version past the key, so the next read misses and rebuilds. Keying
+// by a post-iteration version would let a body that MISSED a
+// mid-iteration write be served for that write's version — a stale
+// read after an acked write (pinned by TestJobsCacheVersionSkew).
 func (s *Server) jobsJSON() ([]byte, error) {
+	if c := s.jobsCache.Load(); c != nil && c.version == s.table.version.Load() {
+		return c.body, nil
+	}
 	s.jobsCacheMu.Lock()
 	defer s.jobsCacheMu.Unlock()
-	s.mu.Lock()
-	ver := s.jobsVersion
-	if s.jobsCache != nil && s.jobsCacheVer == ver {
-		s.mu.Unlock()
-		return s.jobsCache, nil
+	ver := s.table.version.Load() // BEFORE snapshotOrdered, see above
+	if c := s.jobsCache.Load(); c != nil && c.version == ver {
+		return c.body, nil
 	}
-	jobs := s.jobsLocked()
-	s.mu.Unlock()
-	// Encode outside mu: a large table must not stall admission or the
-	// scheduler. jobsCacheMu still serializes concurrent re-encoders.
+	jobs := s.table.snapshotOrdered()
+	if h := s.testHookListSnapshot; h != nil {
+		h()
+	}
+	// Encode outside every lock the serving or scheduling paths take;
+	// jobsCacheMu only serializes concurrent re-encoders.
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(map[string]any{"jobs": jobs}); err != nil {
 		return nil, err
 	}
-	s.jobsCacheVer, s.jobsCache = ver, buf.Bytes()
-	return s.jobsCache, nil
+	s.jobsCache.Store(&jobsCacheEntry{version: ver, body: buf.Bytes()})
+	return buf.Bytes(), nil
 }
 
 // QueueDepth returns the number of admitted-but-unclaimed jobs.
 func (s *Server) QueueDepth() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
 	return s.adm.Len()
 }
 
 // Cap returns the active power cap.
-func (s *Server) Cap() units.Watts {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.capW
-}
+func (s *Server) Cap() units.Watts { return s.capWatts() }
 
 // SetCap changes the power cap live; it applies from the next epoch.
 // The change is journaled before it is acknowledged (or applied), so
@@ -660,19 +775,13 @@ func (s *Server) SetCap(cap units.Watts) error {
 			return fmt.Errorf("%w: journaling cap change: %v", ErrJournal, err)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.capW = cap
+	s.setCapWatts(cap)
 	s.m.capWatts.Set(float64(cap))
 	return nil
 }
 
 // Policy returns the active epoch policy.
-func (s *Server) Policy() online.Policy {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.policy
-}
+func (s *Server) Policy() online.Policy { return s.policyNow() }
 
 // SetPolicy changes the epoch policy live; it applies from the next
 // epoch. Model-based policies require the server to hold a
@@ -693,29 +802,22 @@ func (s *Server) SetPolicy(p online.Policy) error {
 			return fmt.Errorf("%w: journaling policy change: %v", ErrJournal, err)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.policy = p
+	s.setPolicyNow(p)
 	return nil
 }
 
 // Plan returns the most recent epoch's schedule, if any epoch has been
 // planned yet.
 func (s *Server) Plan() (PlanView, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.lastPlan == nil {
+	pv := s.lastPlan.Load()
+	if pv == nil {
 		return PlanView{}, false
 	}
-	return s.lastPlan.clone(), true
+	return pv.clone(), true
 }
 
 // Draining reports whether admission has stopped.
-func (s *Server) Draining() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.draining
-}
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Degraded reports whether the journal circuit breaker is away from
 // closed: durability is suspect, submissions and control changes are
@@ -755,10 +857,10 @@ func (s *Server) retryAfterSeconds() int {
 // admission layer's per-tenant drain-rate EWMA. Before any drain has
 // been observed it falls back to the global epoch-latency hint.
 func (s *Server) tenantRetryAfterSeconds(tenant string) int {
-	s.mu.Lock()
+	s.admMu.Lock()
 	rate := s.adm.DrainRate(tenant)
 	depth := s.adm.TenantDepth(tenant)
-	s.mu.Unlock()
+	s.admMu.Unlock()
 	if rate > 0 {
 		secs := int(math.Ceil(float64(depth+1) / rate))
 		if secs < 1 {
@@ -785,23 +887,19 @@ func (s *Server) Ready() bool {
 }
 
 // Clock returns the node's scheduling clock (simulated seconds).
-func (s *Server) Clock() units.Seconds {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.simClock
-}
+func (s *Server) Clock() units.Seconds { return s.clock() }
 
 // WriteTrace renders the epoch trace — makespan, average power, and
 // batch size per epoch, indexed by the scheduling clock — as CSV or
 // JSON.
 func (s *Server) WriteTrace(w io.Writer, asJSON bool) error {
-	s.mu.Lock()
+	s.traceMu.Lock()
 	series := []*trace.Series{
 		cloneSeries(s.traceMakespan),
 		cloneSeries(s.tracePower),
 		cloneSeries(s.traceBatch),
 	}
-	s.mu.Unlock()
+	s.traceMu.Unlock()
 	if asJSON {
 		return trace.WriteJSON(w, series...)
 	}
@@ -819,11 +917,13 @@ func cloneSeries(s *trace.Series) *trace.Series {
 // WriteMetrics renders the Prometheus text exposition.
 func (s *Server) WriteMetrics(w io.Writer) error { return s.m.reg.Write(w) }
 
-// markDraining stops admission; idempotent.
+// markDraining stops admission; idempotent. Taken under admMu so it
+// serializes against Submit's post-journal re-check and the loop's
+// exit decision.
 func (s *Server) markDraining() {
-	s.mu.Lock()
-	s.draining = true
-	s.mu.Unlock()
+	s.admMu.Lock()
+	s.draining.Store(true)
+	s.admMu.Unlock()
 }
 
 // loop is the single scheduler goroutine: it owns the epoch cycle and
@@ -846,14 +946,16 @@ func (s *Server) loop(ctx context.Context) {
 		if ctx.Err() != nil {
 			s.markDraining()
 		}
-		s.mu.Lock()
+		s.admMu.Lock()
 		pending := s.adm.Len()
-		draining := s.draining
-		s.mu.Unlock()
+		draining := s.draining.Load()
+		if pending == 0 && draining {
+			s.syncQueueGauges()
+			s.admMu.Unlock()
+			return
+		}
+		s.admMu.Unlock()
 		if pending == 0 {
-			if draining {
-				return
-			}
 			select {
 			case <-ctx.Done():
 			case <-s.stop:
@@ -884,45 +986,60 @@ func (s *Server) loop(ctx context.Context) {
 // admission layer: strict priority across classes, weighted fair
 // queueing across tenants within a class.
 func (s *Server) claimBatch() []admission.Entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.admMu.Lock()
+	defer s.admMu.Unlock()
 	claimed := s.adm.SelectBatch(s.cfg.MaxBatch, time.Now().UTC())
 	s.syncQueueGauges()
 	return claimed
 }
 
+// publishBatch publishes fresh immutable snapshots for every job in
+// the scheduler's private batch, then bumps the table version once so
+// the whole transition becomes visible to the list cache atomically
+// enough (snapshots first, version last).
+func (s *Server) publishBatch(batch []Job) {
+	for i := range batch {
+		pj := batch[i]
+		s.table.publish(&pj)
+	}
+	s.table.bump()
+}
+
 // runEpoch finalizes the claimed batch at the epoch boundary and runs
 // one scheduling round.
 //
-// Only terminal transitions are journaled (in one batch at the end of
-// the round). The intermediate planned/running records carried no
-// recovery information — startup replay resets every non-terminal job
-// to queued with its epoch markers cleared — so writing them cost two
-// extra journal appends (and, under FsyncAlways, two extra fsyncs)
-// per epoch for state a restart discards anyway.
+// The scheduler works on private copies of the claimed jobs (the
+// admission payloads are published snapshots and immutable); every
+// externally meaningful transition is published to the table as a
+// fresh snapshot. Only terminal transitions are journaled (in one
+// batch at the end of the round) — the intermediate planned/running
+// records carried no recovery information, since startup replay
+// resets every non-terminal job to queued anyway.
 func (s *Server) runEpoch(claimed []admission.Entry) {
-	s.mu.Lock()
+	s.admMu.Lock()
 	// The boundary decision: absorb gap arrivals up to MaxBatch, then
 	// let strictly higher-priority arrivals displace the lowest-
 	// priority claimed members. Displaced jobs return to the front of
 	// their tenant queue with their original tags — requeued, not
 	// resubmitted — and run next epoch.
 	kept, requeued := s.adm.Preempt(claimed, s.cfg.MaxBatch, time.Now().UTC())
+	s.syncQueueGauges()
+	s.admMu.Unlock()
 	if len(requeued) > 0 {
 		s.m.preemptions.Add(float64(len(requeued)))
 	}
-	batch := make([]*Job, len(kept))
+	batch := make([]Job, len(kept))
 	for i, e := range kept {
-		batch[i] = e.Payload.(*Job)
+		batch[i] = *e.Payload.(*Job)
 	}
-	s.syncQueueGauges()
 	epoch := s.epochCount + 1
-	capW, policy := s.capW, s.policy
-	clock := s.simClock
+	capW, policy := s.capWatts(), s.policyNow()
+	clock := s.clock()
 	seed := epochSeed(s.cfg.Seed, epoch)
 	insts := make([]*workload.Instance, len(batch))
 	var specErr error
-	for i, j := range batch {
+	for i := range batch {
+		j := &batch[i]
 		j.State = JobPlanned
 		j.Epoch = epoch
 		inst, err := j.spec.Instance(i, j.ID)
@@ -932,11 +1049,10 @@ func (s *Server) runEpoch(claimed []admission.Entry) {
 		}
 		insts[i] = inst
 	}
-	s.jobsVersion++
+	s.publishBatch(batch)
 	pv := newPlanView(epoch, policy, capW, clock, batch)
 	pv.State = "planning"
-	s.lastPlan = &pv
-	s.mu.Unlock()
+	s.lastPlan.Store(&pv)
 	if specErr != nil {
 		s.finishEpochErr(batch, epoch, specErr)
 		return
@@ -955,22 +1071,20 @@ func (s *Server) runEpoch(claimed []admission.Entry) {
 		Cap: capW, Policy: policy, Seed: seed,
 	}
 	opts.Planned = func(plan *core.Schedule, predicted units.Seconds) {
-		s.mu.Lock()
-		for _, j := range batch {
-			j.State = JobRunning
+		for i := range batch {
+			batch[i].State = JobRunning
 			if predicted > 0 {
-				j.PredictedFinishSimS = float64(clock + predicted)
+				batch[i].PredictedFinishSimS = float64(clock + predicted)
 			}
 		}
-		s.jobsVersion++
+		s.publishBatch(batch)
 		run := newPlanView(epoch, policy, capW, clock, batch)
 		run.State = "running"
 		fillPlan(&run, plan, predicted, batch)
-		s.lastPlan = &run
+		s.lastPlan.Store(&run)
 		if predicted > 0 {
 			s.m.predMakespan.Set(float64(predicted))
 		}
-		s.mu.Unlock()
 	}
 
 	start := time.Now()
@@ -983,10 +1097,9 @@ func (s *Server) runEpoch(claimed []admission.Entry) {
 	}
 
 	res := ep.Result
-	s.mu.Lock()
 	partners := partnerMap(res.Completions)
 	for _, c := range res.Completions {
-		j := batch[c.Inst.ID]
+		j := &batch[c.Inst.ID]
 		j.State = JobDone
 		j.StartedSimS = float64(clock + c.Start)
 		j.FinishedSimS = float64(clock + c.End)
@@ -1000,32 +1113,35 @@ func (s *Server) runEpoch(claimed []admission.Entry) {
 			j.DeadlineMet = &met
 		}
 	}
-	for _, j := range batch {
+	for i := range batch {
 		// The simulator runs every dispatched job to completion, so a
 		// missing completion is a scheduler invariant violation.
-		if j.State != JobDone {
-			j.State = JobFailed
-			j.Error = "no completion recorded"
+		if batch[i].State != JobDone {
+			batch[i].State = JobFailed
+			batch[i].Error = "no completion recorded"
 			s.m.failed.Inc()
 		}
 	}
-	s.simClock = clock + res.Makespan
+	endClock := clock + res.Makespan
+	s.setClock(endClock)
 	s.epochCount = epoch
-	s.jobsVersion++
+	s.publishBatch(batch)
 
 	s.m.epochs.Inc()
 	s.m.done.Add(float64(len(res.Completions)))
 	s.m.scheduled.Add(policy.String(), float64(len(res.Completions)))
 	s.m.energy.Add(res.EnergyJ)
 	s.m.simMakespan.Set(float64(res.Makespan))
-	s.m.simClock.Set(float64(s.simClock))
+	s.m.simClock.Set(float64(endClock))
 	if capW > 0 {
 		s.m.capUtil.Set(float64(res.AvgPower) / float64(capW))
 	}
 
-	s.traceMakespan.MustAdd(s.simClock, float64(res.Makespan))
-	s.tracePower.MustAdd(s.simClock, float64(res.AvgPower))
-	s.traceBatch.MustAdd(s.simClock, float64(len(batch)))
+	s.traceMu.Lock()
+	s.traceMakespan.MustAdd(endClock, float64(res.Makespan))
+	s.tracePower.MustAdd(endClock, float64(res.AvgPower))
+	s.traceBatch.MustAdd(endClock, float64(len(batch)))
+	s.traceMu.Unlock()
 
 	done := newPlanView(epoch, policy, capW, clock, batch)
 	done.State = "done"
@@ -1037,17 +1153,16 @@ func (s *Server) runEpoch(claimed []admission.Entry) {
 		done.CapUtilization = float64(res.AvgPower) / float64(capW)
 	}
 	done.EnergyJoules = res.EnergyJ
-	done.ClockEndS = float64(s.simClock)
-	s.lastPlan = &done
+	done.ClockEndS = float64(endClock)
+	s.lastPlan.Store(&done)
 
 	var doneRecs []journal.Record
 	if s.jl != nil {
-		clockEnd := float64(s.simClock)
-		for _, j := range batch {
-			doneRecs = append(doneRecs, stateRecord(j, clockEnd))
+		clockEnd := float64(endClock)
+		for i := range batch {
+			doneRecs = append(doneRecs, stateRecord(&batch[i], clockEnd))
 		}
 	}
-	s.mu.Unlock()
 	s.journalAppend(doneRecs)
 }
 
@@ -1069,42 +1184,42 @@ func epochSeed(seed int64, epoch int) int64 {
 // finishEpochErr marks a failed round. The daemon stays up: one
 // unschedulable batch (e.g. the cap was dropped below feasibility
 // between admission and planning) must not take the node down.
-func (s *Server) finishEpochErr(batch []*Job, epoch int, err error) {
-	s.mu.Lock()
+func (s *Server) finishEpochErr(batch []Job, epoch int, err error) {
 	var recs []journal.Record
-	for _, j := range batch {
-		j.State = JobFailed
-		j.Error = err.Error()
+	for i := range batch {
+		batch[i].State = JobFailed
+		batch[i].Error = err.Error()
 		if s.jl != nil {
-			recs = append(recs, stateRecord(j, 0))
+			recs = append(recs, stateRecord(&batch[i], 0))
 		}
 	}
-	s.jobsVersion++
+	s.publishBatch(batch)
 	s.m.failed.Add(float64(len(batch)))
 	s.m.epochs.Inc()
 	s.epochCount = epoch
-	if s.lastPlan != nil && s.lastPlan.Epoch == epoch {
-		s.lastPlan.State = "failed"
-		s.lastPlan.Error = err.Error()
+	if pv := s.lastPlan.Load(); pv != nil && pv.Epoch == epoch {
+		failed := pv.clone()
+		failed.State = "failed"
+		failed.Error = err.Error()
+		s.lastPlan.Store(&failed)
 	}
-	s.mu.Unlock()
 	s.journalAppend(recs)
 }
 
-func newPlanView(epoch int, policy online.Policy, capW units.Watts, clock units.Seconds, batch []*Job) PlanView {
+func newPlanView(epoch int, policy online.Policy, capW units.Watts, clock units.Seconds, batch []Job) PlanView {
 	pv := PlanView{
 		Epoch:       epoch,
 		Policy:      policy.String(),
 		CapWatts:    float64(capW),
 		ClockStartS: float64(clock),
 	}
-	for _, j := range batch {
-		pv.Jobs = append(pv.Jobs, j.ID)
+	for i := range batch {
+		pv.Jobs = append(pv.Jobs, batch[i].ID)
 	}
 	return pv
 }
 
-func fillPlan(pv *PlanView, plan *core.Schedule, predicted units.Seconds, batch []*Job) {
+func fillPlan(pv *PlanView, plan *core.Schedule, predicted units.Seconds, batch []Job) {
 	if plan == nil {
 		return
 	}

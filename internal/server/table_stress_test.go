@@ -1,0 +1,247 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"corun/internal/workload"
+)
+
+// stateRank orders the job lifecycle for the stress assertions: a
+// job's observed state may only ever move forward through this rank
+// (queued → planned → running → terminal), and a terminal state never
+// changes again.
+func stateRank(s JobState) int {
+	switch s {
+	case JobQueued:
+		return 0
+	case JobPlanned:
+		return 1
+	case JobRunning:
+		return 2
+	case JobDone, JobFailed:
+		return 3
+	}
+	return -1
+}
+
+// TestJobTableStress is the sharded job table's linearizability-style
+// stress test: with the scheduler live, concurrent submitters, per-job
+// pollers, and list readers hammer the table across stripes, and every
+// observation must be a legal lifecycle successor of the previous one
+// for that job — no backwards transitions, no terminal flip
+// (done↔failed), no job vanishing after its ack. Meanwhile the list
+// endpoint must never serve a body missing an already-acked job (the
+// list cache's version contract). Run with -race to make it a memory-
+// model check as well.
+func TestJobTableStress(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.MaxQueue = 4096
+		c.MaxBatch = 16
+		// The cheap policy: the test stresses the table, not the
+		// planner, and hcs+ refinement would dominate the runtime.
+		c.Policy = "random"
+	})
+	s.Start(context.Background())
+	defer func() {
+		s.Drain()
+		select {
+		case <-s.Drained():
+		case <-time.After(60 * time.Second):
+			t.Fatal("drain stuck")
+		}
+	}()
+
+	const submitters, perSub = 8, 20
+	var wg sync.WaitGroup
+	stopPoll := make(chan struct{})
+
+	// Submitters: each records its acked IDs; pollers chase them.
+	ids := make(chan string, submitters*perSub)
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSub; i++ {
+				j, err := s.Submit(workload.JobSpec{Program: "lud"})
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				// An acked job must be immediately visible by ID and in
+				// the next list body (never older than the acked write).
+				if got := s.jobRef(j.ID); got == nil {
+					t.Errorf("acked job %s invisible to Get", j.ID)
+					return
+				}
+				body, err := s.jobsJSON()
+				if err != nil {
+					t.Errorf("jobsJSON: %v", err)
+					return
+				}
+				if !strings.Contains(string(body), `"`+j.ID+`"`) {
+					t.Errorf("list served after ack of %s does not contain it", j.ID)
+					return
+				}
+				ids <- j.ID
+			}
+		}()
+	}
+
+	// Per-job pollers: watch observed states only ever move forward.
+	var pollWG sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pollWG.Add(1)
+		go func() {
+			defer pollWG.Done()
+			last := map[string]JobState{}
+			var watch []string
+			for {
+				select {
+				case <-stopPoll:
+					return
+				case id := <-ids:
+					watch = append(watch, id)
+				default:
+				}
+				for _, id := range watch {
+					j := s.jobRef(id)
+					if j == nil {
+						t.Errorf("job %s vanished", id)
+						return
+					}
+					if prev, ok := last[id]; ok {
+						pr, nr := stateRank(prev), stateRank(j.State)
+						if nr < pr {
+							t.Errorf("job %s went backwards: %s -> %s", id, prev, j.State)
+							return
+						}
+						if pr == 3 && j.State != prev {
+							t.Errorf("job %s changed terminal state: %s -> %s", id, prev, j.State)
+							return
+						}
+					}
+					if stateRank(j.State) < 0 {
+						t.Errorf("job %s in unknown state %q", id, j.State)
+						return
+					}
+					last[id] = j.State
+				}
+			}
+		}()
+	}
+
+	// List readers: every body must parse and every job in it must be
+	// in a legal state (the walk may interleave with transitions, but
+	// each snapshot it copies is a published one).
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				body, err := s.jobsJSON()
+				if err != nil {
+					t.Errorf("jobsJSON: %v", err)
+					return
+				}
+				var out struct {
+					Jobs []Job `json:"jobs"`
+				}
+				if err := json.Unmarshal(body, &out); err != nil {
+					t.Errorf("list body unparsable: %v", err)
+					return
+				}
+				for i := range out.Jobs {
+					if stateRank(out.Jobs[i].State) < 0 {
+						t.Errorf("list shows %s in unknown state %q", out.Jobs[i].ID, out.Jobs[i].State)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stopPoll)
+	pollWG.Wait()
+
+	// Drain flushes the queue; afterwards every submitted job must be
+	// terminal, present, and counted exactly once.
+	s.Drain()
+	select {
+	case <-s.Drained():
+	case <-time.After(60 * time.Second):
+		t.Fatal("drain stuck")
+	}
+	jobs := s.Jobs()
+	if len(jobs) != submitters*perSub {
+		t.Fatalf("table holds %d jobs, want %d", len(jobs), submitters*perSub)
+	}
+	seen := map[string]bool{}
+	for i := range jobs {
+		j := &jobs[i]
+		if seen[j.ID] {
+			t.Fatalf("job %s listed twice", j.ID)
+		}
+		seen[j.ID] = true
+		if !j.State.Terminal() {
+			t.Errorf("job %s not terminal after drain: %s", j.ID, j.State)
+		}
+	}
+}
+
+// TestJobsCacheVersionSkew is the striping regression test for the
+// list cache: a rebuild snapshots the table while other stripes keep
+// moving, so the cache key must be the version captured BEFORE the
+// iteration. If the implementation keyed the entry by a version read
+// after (or during) the walk, a body that missed a concurrent insert
+// would be served for that insert's version — i.e. a list read AFTER
+// an acked write would not contain it. The test forces exactly that
+// interleaving through the test hook.
+func TestJobsCacheVersionSkew(t *testing.T) {
+	s := newTestServer(t, nil) // scheduler intentionally not started
+	if _, err := s.Submit(workload.JobSpec{Program: "lud", Label: "first"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var hooked *Job
+	s.testHookListSnapshot = func() {
+		s.testHookListSnapshot = nil // only the first rebuild races
+		j, err := s.Submit(workload.JobSpec{Program: "lud", Label: "mid-iteration"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hooked = s.jobRef(j.ID)
+	}
+	// First list: the snapshot is taken, then the hook acks a new job
+	// mid-rebuild. The body legitimately misses it — but the cache
+	// entry must be keyed at the pre-iteration version, which the
+	// hook's insert has already invalidated.
+	body1, err := s.jobsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hooked == nil {
+		t.Fatal("test hook never ran")
+	}
+	if strings.Contains(string(body1), hooked.ID) {
+		// Not an error (the walk could have caught it), but then the
+		// interleaving wasn't exercised; with the hook after the
+		// snapshot it must not happen.
+		t.Fatalf("mid-iteration job unexpectedly present in the racing body")
+	}
+	// Second list: the write is acked, so serving the first body now
+	// would be a stale read. The version mismatch must force a rebuild
+	// that includes the job.
+	body2, err := s.jobsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body2), hooked.ID) {
+		t.Fatalf("list after acked write still misses %s: cache served a skipped-stripe snapshot", hooked.ID)
+	}
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corun/internal/journal"
+)
+
+// ackReq is one committer's batch of records plus its private ack
+// channel. done is buffered so the writer never blocks completing an
+// ack, and it receives exactly one value — the whole batch's outcome.
+type ackReq struct {
+	recs []journal.Record
+	done chan error
+}
+
+// journalWriter is the dedicated commit goroutine on the submit→ack
+// path: submitters hand it their records and block on a per-request
+// done channel; the writer coalesces everything queued into one
+// commit — a single journal Append, which under FsyncAlways is a
+// single fsync — and fans the outcome back out. Submitters therefore
+// never wait on each other's fsyncs (they share one), and the commit
+// function keeps the daemon's whole failure policy: it is
+// Server.appendDurable, so the breaker gate, the retry backoff, the
+// SiteAppend/SiteFsync failpoints, and the SyncError retry-with-Sync
+// discipline all apply per batch exactly as they did per request.
+//
+// A failed commit fails every waiter in the batch with the same error
+// exactly once; none of their records were acknowledged (a SyncError
+// may still have left frames in the log — the documented
+// at-least-once side of recovery). On success the assigned sequence
+// numbers are copied back into each committer's own record slice
+// before its ack, so a committer can assert durability (see
+// Journal.DurableSeq) against its own records.
+type journalWriter struct {
+	commit  func([]journal.Record) error
+	onBatch func(reqs, recs int) // optional instrumentation
+
+	maxRecs int
+	gather  time.Duration
+	ch      chan *ackReq
+
+	// inflight counts committers currently inside submit() — entered,
+	// not yet acked. It is the group-commit gate: the writer holds a
+	// batch open (up to the gather window) only while it can see more
+	// committers than it has already collected, so a lone sequential
+	// committer never waits on the timer.
+	inflight atomic.Int64
+
+	stopOnce sync.Once
+	stop     chan struct{} // stopWriter signal
+	stopped  chan struct{} // closed once the run loop has quiesced
+}
+
+// newJournalWriter starts the writer goroutine. maxRecs bounds how
+// many records one commit batches (≤ 0 uses 256); the bound keeps a
+// deep backlog from turning into one unboundedly large Append. gather
+// is the group-commit window: with more committers in flight than
+// collected, the writer waits up to this long for them to arrive
+// before paying the fsync (0 commits immediately).
+func newJournalWriter(commit func([]journal.Record) error, maxRecs int, gather time.Duration, onBatch func(reqs, recs int)) *journalWriter {
+	if maxRecs <= 0 {
+		maxRecs = 256
+	}
+	w := &journalWriter{
+		commit:  commit,
+		onBatch: onBatch,
+		maxRecs: maxRecs,
+		gather:  gather,
+		ch:      make(chan *ackReq, 4*maxRecs),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// submit commits recs through the writer and blocks until the batch
+// containing them is durable (nil) or failed (the batch error).
+// journal.ErrClosed reports a stopped writer. On success recs carries
+// the assigned sequence numbers.
+func (w *journalWriter) submit(recs []journal.Record) error {
+	w.inflight.Add(1)
+	defer w.inflight.Add(-1)
+	req := &ackReq{recs: recs, done: make(chan error, 1)}
+	select {
+	case w.ch <- req:
+	case <-w.stopped:
+		return journal.ErrClosed
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-w.stopped:
+		// The writer quiesced while we waited; it either processed the
+		// request during its final drain (the ack is already buffered)
+		// or never saw it.
+		select {
+		case err := <-req.done:
+			return err
+		default:
+			return journal.ErrClosed
+		}
+	}
+}
+
+// stopWriter flushes everything already queued (committing it with
+// the usual ack fan-out), then stops the goroutine; late submitters
+// get journal.ErrClosed. Idempotent, returns once quiesced.
+func (w *journalWriter) stopWriter() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.stopped
+}
+
+func (w *journalWriter) run() {
+	var reqs []*ackReq
+	var recs []journal.Record
+
+	flush := func() {
+		if len(reqs) == 0 {
+			return
+		}
+		err := w.commit(recs)
+		if err == nil {
+			// Copy the assigned sequence numbers back into each
+			// committer's slice before its ack fires.
+			i := 0
+			for _, r := range reqs {
+				copy(r.recs, recs[i:i+len(r.recs)])
+				i += len(r.recs)
+			}
+		}
+		for _, r := range reqs {
+			r.done <- err
+		}
+		if w.onBatch != nil {
+			w.onBatch(len(reqs), len(recs))
+		}
+		reqs, recs = reqs[:0], recs[:0]
+	}
+	take := func(r *ackReq) {
+		reqs = append(reqs, r)
+		recs = append(recs, r.recs...)
+	}
+
+	for {
+		select {
+		case r := <-w.ch:
+			take(r)
+			// Opportunistic coalescing: everything already queued joins
+			// this commit, up to the batch bound. The commit itself (the
+			// fsync) is one batching window; on an empty channel the
+			// group-commit gather below is the other — the writer holds
+			// the batch open only while inflight shows committers it has
+			// not collected yet, for at most the gather window total.
+			var timer *time.Timer
+			var deadline <-chan time.Time
+		gatherLoop:
+			for len(recs) < w.maxRecs {
+				select {
+				case r2 := <-w.ch:
+					take(r2)
+				default:
+					if w.gather <= 0 || w.inflight.Load() <= int64(len(reqs)) {
+						break gatherLoop
+					}
+					if timer == nil {
+						timer = time.NewTimer(w.gather)
+						deadline = timer.C
+					}
+					select {
+					case r2 := <-w.ch:
+						take(r2)
+					case <-deadline:
+						break gatherLoop
+					case <-w.stop:
+						break gatherLoop
+					}
+				}
+			}
+			if timer != nil {
+				timer.Stop()
+			}
+			flush()
+		case <-w.stop:
+			// Quiesce: commit everything already queued, then close
+			// stopped and fail whatever raced in after the final drain.
+			for {
+				select {
+				case r := <-w.ch:
+					take(r)
+					if len(recs) >= w.maxRecs {
+						flush()
+					}
+				default:
+					flush()
+					close(w.stopped)
+					for {
+						select {
+						case r := <-w.ch:
+							r.done <- journal.ErrClosed
+						default:
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"corun/internal/fault"
+	"corun/internal/journal"
+)
+
+// TestJournalWriterDurableAck is the batched-ack writer's property
+// test: against a real journal with fsync faults injected on several
+// schedules, every acked submission implies the journal's durable
+// watermark covers that submission's assigned sequence number, and
+// every submission is acked or failed exactly once (acked + failed ==
+// submitted). Run under -race, the test also proves the writer's
+// hand-off and seq write-back are data-race free.
+func TestJournalWriterDurableAck(t *testing.T) {
+	schedules := []struct {
+		name string
+		rule *fault.Rule
+	}{
+		{"no-faults", nil},
+		{"every-3rd-fsync", &fault.Rule{Site: journal.SiteFsync, Kind: fault.KindError, Every: 3, Msg: "injected fsync"}},
+		{"first-5-fsyncs", &fault.Rule{Site: journal.SiteFsync, Kind: fault.KindError, Times: 5, Msg: "injected fsync"}},
+	}
+	for _, sched := range schedules {
+		t.Run(sched.name, func(t *testing.T) {
+			reg := fault.NewRegistry()
+			if sched.rule != nil {
+				reg.Arm(*sched.rule)
+			}
+			jl, _, _, err := journal.Open(journal.Options{
+				Dir:    t.TempDir(),
+				Fsync:  journal.FsyncAlways,
+				Faults: reg,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer jl.Close()
+
+			// Commit straight through Journal.Append: an injected fsync
+			// fault fails the whole batch (as a *journal.SyncError), so
+			// an ack means the batch's fsync succeeded.
+			w := newJournalWriter(func(recs []journal.Record) error {
+				return jl.Append(recs...)
+			}, 16, 500*time.Microsecond, nil) // production-shaped: gather armed
+			defer w.stopWriter()
+
+			const goroutines, perG = 8, 50
+			var acked, failed atomic.Uint64
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < perG; i++ {
+						watts := float64(g*perG + i)
+						recs := []journal.Record{{Type: journal.TypeCapChanged, CapWatts: &watts}}
+						err := w.submit(recs)
+						if err != nil {
+							failed.Add(1)
+							continue
+						}
+						acked.Add(1)
+						// The acked-implies-durable property, checked
+						// against the submitter's own record: the seq
+						// write-back must have happened before the ack,
+						// and the durable watermark must cover it.
+						if recs[0].Seq == 0 {
+							t.Errorf("acked submission has no assigned seq")
+						}
+						if d := jl.DurableSeq(); d < recs[0].Seq {
+							t.Errorf("acked seq %d > durable watermark %d", recs[0].Seq, d)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			total := acked.Load() + failed.Load()
+			if total != goroutines*perG {
+				t.Fatalf("acked %d + failed %d = %d, want exactly %d (no lost or double acks)",
+					acked.Load(), failed.Load(), total, goroutines*perG)
+			}
+			if sched.rule == nil && failed.Load() != 0 {
+				t.Fatalf("%d submissions failed with no faults armed", failed.Load())
+			}
+			if acked.Load() == 0 {
+				t.Fatal("every submission failed; the property was never exercised")
+			}
+		})
+	}
+}
+
+// TestJournalWriterBatchFailureFanout stages a deterministic multi-
+// waiter batch and fails it: while the writer is blocked committing a
+// first request, several submitters queue up; the writer must coalesce
+// them into one commit and, when that commit fails, deliver the same
+// error to every waiter exactly once.
+func TestJournalWriterBatchFailureFanout(t *testing.T) {
+	gate := make(chan struct{})
+	injected := errors.New("injected batch failure")
+	var commits atomic.Int64
+	var batchSizes []int
+	var mu sync.Mutex
+	w := newJournalWriter(func(recs []journal.Record) error {
+		mu.Lock()
+		batchSizes = append(batchSizes, len(recs))
+		mu.Unlock()
+		switch commits.Add(1) {
+		case 1:
+			<-gate // hold the writer so followers pile up
+			return nil
+		default:
+			return injected
+		}
+	}, 64, 0, nil)
+	defer w.stopWriter()
+
+	watts := 10.0
+	rec := func() []journal.Record {
+		return []journal.Record{{Type: journal.TypeCapChanged, CapWatts: &watts}}
+	}
+
+	firstDone := make(chan error, 1)
+	go func() { firstDone <- w.submit(rec()) }()
+	// Wait until the writer is inside the gated commit (the first
+	// request has been taken off the channel).
+	waitFor(t, func() bool { return commits.Load() == 1 })
+
+	const waiters = 5
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() { errs <- w.submit(rec()) }()
+	}
+	// All five must be queued before the writer wakes, so they land in
+	// one batch.
+	waitFor(t, func() bool { return len(w.ch) == waiters })
+
+	close(gate)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first (successful) batch acked error: %v", err)
+	}
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, injected) {
+				t.Fatalf("waiter %d got %v, want the injected batch error", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("waiter %d never acked: a failed batch lost an ack", i)
+		}
+	}
+	if got := commits.Load(); got != 2 {
+		t.Fatalf("%d commits, want 2 (one gated, one coalesced batch)", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(batchSizes) != 2 || batchSizes[1] != waiters {
+		t.Fatalf("batch sizes %v, want [1 %d]: followers did not coalesce", batchSizes, waiters)
+	}
+}
+
+// TestJournalWriterStopFlushesAndRefuses: stopWriter commits what is
+// already queued (with acks), and submissions after the stop get
+// journal.ErrClosed.
+func TestJournalWriterStopFlushesAndRefuses(t *testing.T) {
+	gate := make(chan struct{})
+	var commits atomic.Int64
+	w := newJournalWriter(func(recs []journal.Record) error {
+		if commits.Add(1) == 1 {
+			<-gate
+		}
+		return nil
+	}, 64, 0, nil)
+
+	watts := 1.0
+	rec := func() []journal.Record {
+		return []journal.Record{{Type: journal.TypeCapChanged, CapWatts: &watts}}
+	}
+	first := make(chan error, 1)
+	go func() { first <- w.submit(rec()) }()
+	waitFor(t, func() bool { return commits.Load() == 1 })
+
+	// Queued behind the gated commit; the stop must still flush it.
+	second := make(chan error, 1)
+	go func() { second <- w.submit(rec()) }()
+	waitFor(t, func() bool { return len(w.ch) == 1 })
+
+	stopped := make(chan struct{})
+	go func() { close(gate); w.stopWriter(); close(stopped) }()
+	select {
+	case <-stopped:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stopWriter never quiesced")
+	}
+	if err := <-first; err != nil {
+		t.Fatalf("gated submit: %v", err)
+	}
+	if err := <-second; err != nil {
+		t.Fatalf("queued submit must be flushed by the stop, got %v", err)
+	}
+	if err := w.submit(rec()); !errors.Is(err, journal.ErrClosed) {
+		t.Fatalf("submit after stop = %v, want journal.ErrClosed", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestJournalWriterGatherHoldsForInflight pins the group-commit gate:
+// with more committers in flight than collected, the writer holds the
+// batch open (no commit fires) until the stragglers arrive, then
+// commits everything as one batch; and a lone committer with nobody
+// else in flight never waits on the gather timer.
+func TestJournalWriterGatherHoldsForInflight(t *testing.T) {
+	var mu sync.Mutex
+	var batchSizes []int
+	w := newJournalWriter(func(recs []journal.Record) error {
+		mu.Lock()
+		batchSizes = append(batchSizes, len(recs))
+		mu.Unlock()
+		return nil
+	}, 16, time.Second, nil)
+	defer w.stopWriter()
+
+	watts := 1.0
+	rec := func() []journal.Record {
+		return []journal.Record{{Type: journal.TypeCapChanged, CapWatts: &watts}}
+	}
+
+	// Two phantom committers "in flight": the writer must gather, not
+	// commit the first record alone.
+	w.inflight.Add(2)
+	first := make(chan error, 1)
+	go func() { first <- w.submit(rec()) }()
+	time.Sleep(100 * time.Millisecond)
+	mu.Lock()
+	early := len(batchSizes)
+	mu.Unlock()
+	if early != 0 {
+		t.Fatalf("writer committed during the gather window with committers still in flight (batches %v)", batchSizes)
+	}
+
+	// The straggler arrives and the phantoms leave: the batch closes
+	// with both records sharing one commit.
+	second := make(chan error, 1)
+	go func() { second <- w.submit(rec()) }()
+	w.inflight.Add(-2)
+	for _, ch := range []chan error{first, second} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("gathered submit acked error: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("gathered submit never acked")
+		}
+	}
+	mu.Lock()
+	gathered := append([]int(nil), batchSizes...)
+	mu.Unlock()
+	if len(gathered) != 1 || gathered[0] != 2 {
+		t.Fatalf("batch sizes %v, want one gathered batch of 2", gathered)
+	}
+
+	// A lone committer (inflight == collected) must not wait the 1s
+	// gather window.
+	start := time.Now()
+	if err := w.submit(rec()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("lone submit took %v: the gather gate must not delay a single committer", d)
+	}
+}

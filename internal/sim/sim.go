@@ -166,7 +166,10 @@ type Dispatch struct {
 }
 
 // View is the read-only simulator state exposed to dispatchers and
-// governors.
+// governors. The pointer and its CPUJobs slice are valid only for the
+// duration of the Next/Adjust call that received them — the simulator
+// reuses the backing storage between ticks, so implementations must
+// copy anything they want to keep.
 type View struct {
 	Now     units.Seconds
 	CPUJobs []*workload.Instance
@@ -279,13 +282,22 @@ type state struct {
 	gpuJob  *running
 	cpuFreq int
 	gpuFreq int
+
+	// scratch backs the *View handed to dispatchers and governors.
+	// view() is called every sample tick, so reusing one View (and its
+	// CPUJobs array) keeps the hot loop allocation-free; the View doc
+	// forbids callers from retaining it.
+	scratch View
 }
 
 func (st *state) view() *View {
-	v := &View{Now: st.now, CPUFreq: st.cpuFreq, GPUFreq: st.gpuFreq}
+	v := &st.scratch
+	v.Now, v.CPUFreq, v.GPUFreq = st.now, st.cpuFreq, st.gpuFreq
+	v.CPUJobs = v.CPUJobs[:0]
 	for _, r := range st.cpuJobs {
 		v.CPUJobs = append(v.CPUJobs, r.inst)
 	}
+	v.GPUJob = nil
 	if st.gpuJob != nil {
 		v.GPUJob = st.gpuJob.inst
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -104,6 +105,19 @@ func (s JobSpec) Instance(id int, label string) (*Instance, error) {
 func DecodeJobSpec(r io.Reader) (JobSpec, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
+	return decodeJobSpec(dec)
+}
+
+// DecodeJobSpecBytes decodes one JSON job spec from an in-memory body
+// with exactly DecodeJobSpec's semantics. The spec does not alias b —
+// decoding copies string fields — so callers may reuse the buffer.
+func DecodeJobSpecBytes(b []byte) (JobSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return decodeJobSpec(dec)
+}
+
+func decodeJobSpec(dec *json.Decoder) (JobSpec, error) {
 	var s JobSpec
 	if err := dec.Decode(&s); err != nil {
 		return JobSpec{}, fmt.Errorf("workload: decoding job spec: %w", err)
