@@ -79,13 +79,20 @@ fuzz:
 # loadtest drives a self-hosted corund end-to-end with cmd/corunbench
 # (closed loop, journaling to a temp dir, a three-tenant mix against
 # WFQ weights and a bounded batch) and writes the canonical
-# BENCH_9.json report: throughput, per-endpoint and per-tenant latency
-# quantiles, server-side counter deltas, paired journal
-# micro-benchmarks, and the committed optimization evidence from
-# bench/optimizations_9.json. Concurrency 32 (up from 4) exercises the
-# sharded table and lets the journal writer goroutine coalesce
+# BENCH_10.json report: throughput, per-endpoint and per-tenant latency
+# quantiles, server-side counter deltas (including the per-plane watts,
+# temperature, and binding_constraint of the domain model), paired
+# journal micro-benchmarks, and the committed optimization evidence
+# from bench/optimizations_9.json. Concurrency 32 (up from 4) exercises
+# the sharded table and lets the journal writer goroutine coalesce
 # submitters into shared fsyncs — at concurrency 4 there is almost
 # nothing to batch.
+#
+# -tmax 45 makes the run a thermal-throttle scenario: at the 15 W cap
+# the heatsink steadies near 52-54 C, so a 45 C trip point reliably
+# fires mid-epoch and the report's binding_constraint reads "thermal"
+# (the power cap alone would read "package"). That keeps the thermal
+# path exercised end-to-end on every CI run, not just in unit tests.
 #
 # The shape below measures the *serving path*, so everything else is
 # kept off the critical core (the CI host has one):
@@ -102,10 +109,10 @@ fuzz:
 loadtest:
 	GOGC=800 $(GO) run ./cmd/corunbench -mode closed -concurrency 32 \
 		-duration $(LOADTEST_DURATION) -warmup $(LOADTEST_WARMUP) \
-		-policy random -max-batch 64 -max-queue 16384 \
+		-policy random -max-batch 64 -max-queue 16384 -tmax 45 \
 		-tenants 'team-a=3:high,team-b=2,batch=1:low' \
 		-tenant-weights 'team-a=3,team-b=1,batch=0' \
-		-microbench -notes bench/optimizations_9.json -out BENCH_9.json
+		-microbench -notes bench/optimizations_9.json -out BENCH_10.json
 
 # loadtest-fleet drives a self-hosted 3-node fleet behind the
 # in-process coordinator with the same mixed-tenant workload, three

@@ -15,7 +15,8 @@
 //	           [-read-fraction f] [-seed n]
 //	           [-fleet n] [-fleet-cap watts] [-balancer name] [-baseline]
 //	           [-microbench] [-notes file] [-out file]
-//	           [-policy name] [-cap watts] [-max-queue n]
+//	           [-policy name] [-cap watts] [-cap-pp0 watts] [-cap-pp1 watts]
+//	           [-tmax celsius] [-max-queue n]
 //	           [-tenant-queue n] [-tenant-weights name=w,...] [-max-batch n]
 //	           [-epoch-gap dur] [-fsync pol] [-data-dir dir] [-in-memory]
 //
@@ -121,6 +122,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	policyFlag := fs.String("policy", "hcs+", "self-hosted instance: epoch policy ("+strings.Join(policy.Names(), " | ")+")")
 	capW := fs.Float64("cap", 15, "self-hosted instance: package power cap in watts")
+	capPP0 := fs.Float64("cap-pp0", 0, "self-hosted instance: PP0 (CPU core) plane cap in watts (0 = plane uncapped)")
+	capPP1 := fs.Float64("cap-pp1", 0, "self-hosted instance: PP1 (iGPU) plane cap in watts (0 = plane uncapped)")
+	tmax := fs.Float64("tmax", 0, "self-hosted instance: thermal trip point in Celsius (0 = machine preset)")
 	maxQueue := fs.Int("max-queue", 4096, "self-hosted instance: global admission queue bound")
 	tenantQueue := fs.Int("tenant-queue", 0, "self-hosted instance: per-tenant queue bound (0 = none)")
 	tenantWeights := fs.String("tenant-weights", "", "self-hosted instance: WFQ weights, name=w,... (unlisted tenants weigh 1)")
@@ -168,6 +172,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	hc := hostConfig{
 		policy:        *policyFlag,
 		capW:          *capW,
+		capPP0:        *capPP0,
+		capPP1:        *capPP1,
+		tmaxC:         *tmax,
 		maxQueue:      *maxQueue,
 		tenantQueue:   *tenantQueue,
 		tenantWeights: weights,
@@ -183,6 +190,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		// this process (fleet members and the baseline instance) — the
 		// fleet deployment shape from the daemon's -char flag.
 		hc.mcfg = apu.DefaultConfig()
+		if hc.tmaxC != 0 {
+			tp := hc.mcfg.Thermal
+			tp.TMaxC = hc.tmaxC
+			if err := tp.Validate(); err != nil {
+				return fmt.Errorf("-tmax: %w", err)
+			}
+			hc.mcfg = hc.mcfg.WithThermal(tp)
+		}
 		hc.mem = memsys.Default()
 		start := time.Now()
 		char, err := model.Characterize(model.CharacterizeOptions{Cfg: hc.mcfg, Mem: hc.mem})
@@ -295,6 +310,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 type hostConfig struct {
 	policy        string
 	capW          float64
+	capPP0        float64
+	capPP1        float64
+	tmaxC         float64
 	maxQueue      int
 	tenantQueue   int
 	tenantWeights map[string]float64
@@ -341,6 +359,7 @@ func selfHost(hc hostConfig) (func(), string, error) {
 		Mem:           hc.mem,
 		Char:          hc.char,
 		Cap:           units.Watts(hc.capW),
+		Domains:       apu.DomainCaps{PP0: units.Watts(hc.capPP0), PP1: units.Watts(hc.capPP1)},
 		Policy:        pol,
 		Seed:          hc.seed,
 		MaxQueue:      hc.maxQueue,

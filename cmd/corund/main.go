@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	corund [-addr :8080] [-cap watts] [-policy name] [-node-id id]
+//	corund [-addr :8080] [-cap watts] [-cap-pp0 watts] [-cap-pp1 watts]
+//	       [-tmax celsius] [-policy name] [-node-id id]
 //	       [-machine ivybridge|kaveri] [-max-queue n] [-epoch-gap dur]
 //	       [-tenant-queue n] [-tenant-weights tenant=w,...] [-max-batch n]
 //	       [-char file] [-save-char file] [-seed n]
@@ -123,6 +124,9 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	capW := flag.Float64("cap", 15, "package power cap in watts (0 = uncapped)")
+	capPP0 := flag.Float64("cap-pp0", 0, "PP0 (CPU core) plane power cap in watts (0 = plane uncapped)")
+	capPP1 := flag.Float64("cap-pp1", 0, "PP1 (iGPU) plane power cap in watts (0 = plane uncapped)")
+	tmax := flag.Float64("tmax", 0, "thermal trip point in Celsius overriding the machine preset (0 = keep the preset)")
 	nodeID := flag.String("node-id", "", "stable fleet node identity (prefixes minted job IDs; empty = standalone)")
 	coordinator := flag.Bool("coordinator", false, "run as a fleet coordinator over the daemons in -nodes instead of scheduling locally")
 	nodesFlag := flag.String("nodes", "", "coordinator mode: comma list of member daemons, id=url,...")
@@ -161,10 +165,11 @@ func main() {
 		return
 	}
 
-	cfg, err := buildConfig(*machine, *policyFlag, *capW, *maxQueue, *epochGap, *seed, *charFile, *saveChar, *dataDir, *fsync)
+	cfg, err := buildConfig(*machine, *policyFlag, *capW, *maxQueue, *epochGap, *seed, *charFile, *saveChar, *dataDir, *fsync, *tmax)
 	if err != nil {
 		log.Fatalf("corund: %v", err)
 	}
+	cfg.Domains = apu.DomainCaps{PP0: units.Watts(*capPP0), PP1: units.Watts(*capPP1)}
 	weights, err := admission.ParseWeights(*tenantWeights)
 	if err != nil {
 		log.Fatalf("corund: -tenant-weights: %v", err)
@@ -269,7 +274,7 @@ func runCoordinator(addr, nodesSpec string, fleetCap, nodeFloor float64, balance
 // buildConfig assembles the server configuration: machine preset,
 // policy, the characterization (measured, or loaded from a file),
 // and the durability options.
-func buildConfig(machine, policy string, capW float64, maxQueue int, epochGap time.Duration, seed int64, charFile, saveChar, dataDir, fsync string) (*server.Config, error) {
+func buildConfig(machine, policy string, capW float64, maxQueue int, epochGap time.Duration, seed int64, charFile, saveChar, dataDir, fsync string, tmaxC float64) (*server.Config, error) {
 	var mcfg *apu.Config
 	switch strings.ToLower(machine) {
 	case "ivybridge", "":
@@ -278,6 +283,15 @@ func buildConfig(machine, policy string, capW float64, maxQueue int, epochGap ti
 		mcfg = apu.KaveriConfig()
 	default:
 		return nil, fmt.Errorf("unknown machine %q", machine)
+	}
+	if tmaxC != 0 {
+		// Copy before mutating: the presets are shared package globals.
+		tp := mcfg.Thermal
+		tp.TMaxC = tmaxC
+		if err := tp.Validate(); err != nil {
+			return nil, fmt.Errorf("-tmax: %w", err)
+		}
+		mcfg = mcfg.WithThermal(tp)
 	}
 	pol, err := online.ParsePolicy(policy)
 	if err != nil {

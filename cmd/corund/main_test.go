@@ -13,7 +13,7 @@ func TestBuildConfig(t *testing.T) {
 	charPath := filepath.Join(dir, "char.json")
 
 	// Measure once, persisting the characterization.
-	cfg, err := buildConfig("ivybridge", "hcs+", 15, 64, 10*time.Millisecond, 1, "", charPath, "", "always")
+	cfg, err := buildConfig("ivybridge", "hcs+", 15, 64, 10*time.Millisecond, 1, "", charPath, "", "always", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func TestBuildConfig(t *testing.T) {
 	// Reload the saved characterization — the fleet deployment path —
 	// with the durable journal enabled.
 	dataDir := filepath.Join(dir, "state")
-	cfg2, err := buildConfig("ivybridge", "hcs", 16, 32, 0, 2, charPath, "", dataDir, "interval")
+	cfg2, err := buildConfig("ivybridge", "hcs", 16, 32, 0, 2, charPath, "", dataDir, "interval", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,16 +38,31 @@ func TestBuildConfig(t *testing.T) {
 		t.Fatalf("durability config %q/%q", cfg2.DataDir, cfg2.Fsync)
 	}
 
-	if _, err := buildConfig("cray", "hcs+", 15, 0, 0, 1, "", "", "", "always"); err == nil {
+	if _, err := buildConfig("cray", "hcs+", 15, 0, 0, 1, "", "", "", "always", 0); err == nil {
 		t.Error("unknown machine accepted")
 	}
-	if _, err := buildConfig("ivybridge", "fifo", 15, 0, 0, 1, "", "", "", "always"); err == nil {
+	if _, err := buildConfig("ivybridge", "fifo", 15, 0, 0, 1, "", "", "", "always", 0); err == nil {
 		t.Error("unknown policy accepted")
 	}
-	if _, err := buildConfig("ivybridge", "hcs+", 15, 0, 0, 1, filepath.Join(dir, "missing.json"), "", "", "always"); err == nil {
+	if _, err := buildConfig("ivybridge", "hcs+", 15, 0, 0, 1, filepath.Join(dir, "missing.json"), "", "", "always", 0); err == nil {
 		t.Error("missing characterization file accepted")
 	}
-	if _, err := buildConfig("ivybridge", "hcs+", 15, 0, 0, 1, "", "", "", "everysooften"); err == nil {
+	if _, err := buildConfig("ivybridge", "hcs+", 15, 0, 0, 1, "", "", "", "everysooften", 0); err == nil {
 		t.Error("unknown fsync policy accepted")
+	}
+	if _, err := buildConfig("ivybridge", "hcs+", 15, 0, 0, 1, "", "", "", "always", -40); err == nil {
+		t.Error("trip point below ambient accepted")
+	}
+
+	// -tmax overrides the preset's trip point on a private copy.
+	cfg3, err := buildConfig("ivybridge", "hcs+", 15, 0, 0, 1, charPath, "", "", "always", 62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg3.Machine.Thermal.TMaxC != 62 {
+		t.Fatalf("tmax override not applied: %+v", cfg3.Machine.Thermal)
+	}
+	if cfg.Machine.Thermal.TMaxC == 62 {
+		t.Fatal("tmax override mutated the shared preset")
 	}
 }

@@ -63,6 +63,11 @@ type (
 	Schedule = core.Schedule
 	// Bias selects a reactive governor's sacrificial device.
 	Bias = sim.Bias
+	// DomainCaps are RAPL-style per-plane power caps (PP0 = CPU cores,
+	// PP1 = iGPU, Package tightens the package cap).
+	DomainCaps = apu.DomainCaps
+	// Constraint names the power or thermal limit that bound a run.
+	Constraint = apu.Constraint
 	// PowerTrace is a sampled power time series.
 	PowerTrace = trace.Series
 	// Completion records one finished job.
@@ -150,6 +155,18 @@ func WithPowerCap(w float64) Option {
 	return func(s *System) { s.cap = units.Watts(w) }
 }
 
+// WithDomainCaps sets RAPL-style per-plane caps enforced alongside the
+// package cap; zero planes are unenforced.
+func WithDomainCaps(dc DomainCaps) Option {
+	return func(s *System) { s.domains = dc }
+}
+
+// WithThermalLimit overrides the machine's throttle trip point in
+// degrees Celsius (0 disables the thermal model).
+func WithThermalLimit(tmaxC float64) Option {
+	return func(s *System) { s.tmax = &tmaxC }
+}
+
 // WithMachine replaces the default i7-3520M-like machine description.
 func WithMachine(m *Machine) Option {
 	return func(s *System) { s.cfg = m }
@@ -183,6 +200,8 @@ type System struct {
 	cfg        *apu.Config
 	mem        *memsys.Model
 	cap        units.Watts
+	domains    apu.DomainCaps
+	tmax       *float64
 	charLevels int
 	charSource io.Reader
 	char       *model.Characterization
@@ -204,11 +223,16 @@ func NewSystem(opts ...Option) (*System, error) {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.tmax != nil {
+		tp := s.cfg.Thermal
+		tp.TMaxC = *s.tmax
+		s.cfg = s.cfg.WithThermal(tp)
+	}
 	if err := s.cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if s.cap > 0 && s.cap < s.cfg.MinFreqCap() {
-		return nil, fmt.Errorf("corun: cap %v below the machine's minimum co-run power %v", s.cap, s.cfg.MinFreqCap())
+	if err := s.cfg.CheckCaps(s.cap, s.domains); err != nil {
+		return nil, err
 	}
 	if s.charSource != nil {
 		char, err := model.LoadCharacterization(s.charSource, s.cfg)
@@ -247,6 +271,10 @@ func (s *System) Machine() *Machine { return s.cfg }
 // PowerCap returns the configured cap (0 = uncapped).
 func (s *System) PowerCap() Watts { return s.cap }
 
+// DomainCaps returns the configured per-plane caps (zero planes are
+// unenforced).
+func (s *System) DomainCaps() DomainCaps { return s.domains }
+
 // Prepare profiles the batch offline and assembles the predictive
 // model and scheduling context for it.
 func (s *System) Prepare(batch []*Instance) (*Workload, error) {
@@ -280,6 +308,7 @@ func (s *System) Prepare(batch []*Instance) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
+	cx.Domains = s.domains
 	return &Workload{sys: s, batch: batch, cx: cx}, nil
 }
 
@@ -310,6 +339,7 @@ func (s *System) PrepareCalibrated(batch []*Instance) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
+	cx.Domains = s.domains
 	w.cx = cx
 	return w, nil
 }
@@ -396,6 +426,15 @@ type Report struct {
 	MaxExcess     Watts
 	Completions   []Completion
 	Power         *PowerTrace
+
+	// Per-plane and thermal accounting (see the apu domain model).
+	AvgPP0    Watts
+	AvgPP1    Watts
+	MaxTempC  float64
+	Throttles int
+	// Binding names the constraint that bound the run: a plane or
+	// package cap, the thermal limit, or none.
+	Binding Constraint
 }
 
 // WriteGantt renders the run as an ASCII Gantt chart: one lane per
@@ -415,6 +454,11 @@ func reportOf(r *sim.Result) *Report {
 		MaxExcess:     r.MaxExcess,
 		Completions:   r.Completions,
 		Power:         r.Power,
+		AvgPP0:        r.AvgPP0,
+		AvgPP1:        r.AvgPP1,
+		MaxTempC:      r.MaxTempC,
+		Throttles:     r.Throttles,
+		Binding:       r.Binding,
 	}
 }
 
@@ -461,7 +505,7 @@ func (w *Workload) StandaloneTime(i int, d Device) (Seconds, error) {
 }
 
 func (w *Workload) execOpts() core.ExecOptions {
-	return core.ExecOptions{Cfg: w.sys.cfg, Mem: w.sys.mem, Cap: w.sys.cap}
+	return core.ExecOptions{Cfg: w.sys.cfg, Mem: w.sys.mem, Cap: w.sys.cap, Domains: w.sys.domains}
 }
 
 // Online serving re-exports; see the internal/online package docs.
@@ -504,7 +548,7 @@ func ArrivalOf(name string, at, scale float64) (Arrival, error) {
 // this system, planning each epoch's queue with the given policy.
 func (s *System) Serve(arrivals []Arrival, policy ServePolicy, seed int64) (*ServeResult, error) {
 	return online.Serve(online.Options{
-		Cfg: s.cfg, Mem: s.mem, Char: s.char, Cap: s.cap,
+		Cfg: s.cfg, Mem: s.mem, Char: s.char, Cap: s.cap, Domains: s.domains,
 		Policy: policy, Seed: seed,
 	}, arrivals)
 }

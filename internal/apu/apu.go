@@ -96,6 +96,16 @@ type Config struct {
 	// the experiments are well below it.
 	TDP units.Watts
 
+	// DomainCaps are the machine's RAPL-style per-plane power limits
+	// (PP0 cores / PP1 iGPU / package). Zero planes are uncapped; the
+	// dynamic package cap most layers take as a separate argument is
+	// merged in via DomainCaps.WithPackage where both appear.
+	DomainCaps DomainCaps
+
+	// Thermal is the shared-heatsink RC model; the zero value disables
+	// thermal simulation (see ThermalParams).
+	Thermal ThermalParams
+
 	// powMemo caches the f^exp evaluations behind DynPower, which sit
 	// on the simulator's per-sample path (the governor alone evaluates
 	// the curve several times per tick). Entries carry the inputs they
@@ -107,6 +117,30 @@ type Config struct {
 	// already excluded by the "immutable, single shared instance"
 	// contract above.
 	powMemo atomic.Pointer[powMemoTable]
+}
+
+// WithThermal returns a new Config identical to c except for the
+// thermal parameters. The fields are copied one by one — a whole-struct
+// copy would carry the powMemo atomic along (vet copylocks) — and the
+// copy starts with a cold memo, rebuilt lazily on first DynPower call.
+func (c *Config) WithThermal(tp ThermalParams) *Config {
+	out := &Config{
+		CPUFreqs:        append([]units.GHz(nil), c.CPUFreqs...),
+		GPUFreqs:        append([]units.GHz(nil), c.GPUFreqs...),
+		CPUCores:        c.CPUCores,
+		LLCMB:           c.LLCMB,
+		IdlePower:       c.IdlePower,
+		CPUPowerCoeff:   c.CPUPowerCoeff,
+		CPUPowerExp:     c.CPUPowerExp,
+		GPUPowerCoeff:   c.GPUPowerCoeff,
+		GPUPowerExp:     c.GPUPowerExp,
+		StallPowerFloor: c.StallPowerFloor,
+		HostPowerFrac:   c.HostPowerFrac,
+		TDP:             c.TDP,
+		DomainCaps:      c.DomainCaps,
+		Thermal:         tp,
+	}
+	return out
 }
 
 // powMemoTable is one immutable snapshot of the dynamic-power curve,
@@ -127,8 +161,8 @@ type powMemoEntry struct {
 // mirroring section VI.B of the paper.
 func DefaultConfig() *Config {
 	cfg := &Config{
-		CPUFreqs:        FreqLadder(1.2, 3.6, 16),
-		GPUFreqs:        FreqLadder(0.35, 1.25, 10),
+		CPUFreqs:        MustFreqLadder(1.2, 3.6, 16),
+		GPUFreqs:        MustFreqLadder(0.35, 1.25, 10),
 		CPUCores:        4,
 		LLCMB:           4,
 		IdlePower:       2.0,
@@ -139,6 +173,17 @@ func DefaultConfig() *Config {
 		StallPowerFloor: 0.60,
 		HostPowerFrac:   0.06,
 		TDP:             35,
+		// A mobile part under a laptop heatsink: ~30 s time constant,
+		// trip point high enough that the default machine only
+		// throttles when an experiment lowers TMaxC (max package power
+		// ~32 W steadies near 81 C, below the 95 C trip).
+		Thermal: ThermalParams{
+			AmbientC:    30,
+			RThermal:    1.6,
+			CThermal:    20,
+			TMaxC:       95,
+			HysteresisC: 3,
+		},
 	}
 	return cfg
 }
@@ -151,8 +196,8 @@ func DefaultConfig() *Config {
 // depend on the default machine.
 func KaveriConfig() *Config {
 	return &Config{
-		CPUFreqs:        FreqLadder(1.7, 3.7, 11),
-		GPUFreqs:        FreqLadder(0.35, 0.72, 8),
+		CPUFreqs:        MustFreqLadder(1.7, 3.7, 11),
+		GPUFreqs:        MustFreqLadder(0.35, 0.72, 8),
 		CPUCores:        4,
 		LLCMB:           4,
 		IdlePower:       4.0,
@@ -163,21 +208,49 @@ func KaveriConfig() *Config {
 		StallPowerFloor: 0.60,
 		HostPowerFrac:   0.06,
 		TDP:             95,
+		// A desktop tower cooler: lower resistance, much more thermal
+		// mass than the mobile default.
+		Thermal: ThermalParams{
+			AmbientC:    28,
+			RThermal:    0.45,
+			CThermal:    120,
+			TMaxC:       90,
+			HysteresisC: 3,
+		},
 	}
 }
 
 // FreqLadder builds n evenly spaced operating points from lo to hi GHz
-// inclusive, sorted ascending.
-func FreqLadder(lo, hi float64, n int) []units.GHz {
+// inclusive, sorted ascending. Degenerate requests (n < 2, a
+// non-ascending range, or non-finite endpoints) are rejected here
+// rather than surfacing later as Validate's confusing "table not
+// ascending" on a config the caller never meant to build.
+func FreqLadder(lo, hi float64, n int) ([]units.GHz, error) {
 	if n < 2 {
-		return []units.GHz{units.GHz(lo)}
+		return nil, fmt.Errorf("apu: frequency ladder needs at least 2 points, got %d", n)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return nil, fmt.Errorf("apu: non-finite frequency ladder bounds [%v, %v]", lo, hi)
+	}
+	if lo >= hi {
+		return nil, fmt.Errorf("apu: frequency ladder bounds not ascending: lo %v >= hi %v", lo, hi)
 	}
 	out := make([]units.GHz, n)
 	step := (hi - lo) / float64(n-1)
 	for i := range out {
 		out[i] = units.GHz(lo + step*float64(i))
 	}
-	return out
+	return out, nil
+}
+
+// MustFreqLadder is FreqLadder for compiled-in presets, panicking on a
+// degenerate range.
+func MustFreqLadder(lo, hi float64, n int) []units.GHz {
+	fs, err := FreqLadder(lo, hi, n)
+	if err != nil {
+		panic(err)
+	}
+	return fs
 }
 
 // Validate checks internal consistency of the configuration.
@@ -211,6 +284,12 @@ func (c *Config) Validate() error {
 	if c.HostPowerFrac < 0 || c.HostPowerFrac > 1 {
 		return fmt.Errorf("apu: HostPowerFrac %v outside [0,1]", c.HostPowerFrac)
 	}
+	if err := c.Thermal.Validate(); err != nil {
+		return err
+	}
+	if err := c.CheckCaps(0, c.DomainCaps); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -240,8 +319,13 @@ func (c *Config) Freq(d Device, idx int) units.GHz {
 }
 
 // ClosestFreqIndex returns the index of the operating point of d whose
-// clock is nearest to ghz.
+// clock is nearest to ghz, or -1 when ghz is NaN (every distance
+// comparison against NaN is false, which used to fall through to a
+// silent index 0 — the lowest operating point — masking bad input).
 func (c *Config) ClosestFreqIndex(d Device, ghz units.GHz) int {
+	if math.IsNaN(float64(ghz)) {
+		return -1
+	}
 	fs := c.Freqs(d)
 	best, bestDist := 0, math.Inf(1)
 	for i, f := range fs {

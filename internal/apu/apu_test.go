@@ -57,7 +57,10 @@ func TestKaveriConfigValid(t *testing.T) {
 }
 
 func TestFreqLadderMonotonic(t *testing.T) {
-	fs := FreqLadder(0.35, 1.25, 10)
+	fs, err := FreqLadder(0.35, 1.25, 10)
+	if err != nil {
+		t.Fatalf("FreqLadder: %v", err)
+	}
 	for i := 1; i < len(fs); i++ {
 		if fs[i] <= fs[i-1] {
 			t.Fatalf("ladder not ascending at %d: %v <= %v", i, fs[i], fs[i-1])
@@ -65,11 +68,37 @@ func TestFreqLadderMonotonic(t *testing.T) {
 	}
 }
 
-func TestFreqLadderDegenerate(t *testing.T) {
-	fs := FreqLadder(2.0, 4.0, 1)
-	if len(fs) != 1 || fs[0] != 2.0 {
-		t.Errorf("FreqLadder(n=1) = %v, want [2.0]", fs)
+// Degenerate ranges must fail at construction, not survive as a
+// descending or single-point table that Validate rejects much later
+// with an unrelated-sounding error.
+func TestFreqLadderRejectsDegenerate(t *testing.T) {
+	cases := []struct {
+		name   string
+		lo, hi float64
+		n      int
+	}{
+		{"single point", 2.0, 4.0, 1},
+		{"zero points", 2.0, 4.0, 0},
+		{"negative points", 2.0, 4.0, -3},
+		{"descending", 4.0, 2.0, 8},
+		{"flat", 2.0, 2.0, 8},
+		{"nan lo", math.NaN(), 4.0, 8},
+		{"inf hi", 2.0, math.Inf(1), 8},
 	}
+	for _, tc := range cases {
+		if fs, err := FreqLadder(tc.lo, tc.hi, tc.n); err == nil {
+			t.Errorf("%s: FreqLadder(%v, %v, %d) = %v, want error", tc.name, tc.lo, tc.hi, tc.n, fs)
+		}
+	}
+}
+
+func TestMustFreqLadderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFreqLadder on a descending range did not panic")
+		}
+	}()
+	MustFreqLadder(4.0, 2.0, 8)
 }
 
 func TestDeviceString(t *testing.T) {
@@ -187,6 +216,11 @@ func TestClosestFreqIndex(t *testing.T) {
 	}
 	if got := cfg.ClosestFreqIndex(GPU, 0.86); got != cfg.ClosestFreqIndex(GPU, 0.84) {
 		t.Errorf("0.86 and 0.84 GHz should map to the same 0.85 level")
+	}
+	// NaN used to lose every distance comparison and silently resolve
+	// to index 0; it must be rejected instead.
+	if got := cfg.ClosestFreqIndex(CPU, units.GHz(math.NaN())); got != -1 {
+		t.Errorf("ClosestFreqIndex(NaN) = %d, want -1", got)
 	}
 }
 

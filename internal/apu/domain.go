@@ -1,0 +1,229 @@
+package apu
+
+import (
+	"fmt"
+
+	"corun/internal/units"
+)
+
+// Domain identifies one RAPL-style power plane of the package. The
+// split mirrors what integrated processors actually expose: PP0 meters
+// the CPU cores, PP1 the integrated GPU, and Package the whole die
+// including the uncore (which neither plane meters).
+type Domain int
+
+// The power planes of the integrated package.
+const (
+	PP0     Domain = iota // CPU core plane
+	PP1                   // integrated-GPU plane
+	Package               // whole package (PP0 + PP1 + uncore)
+)
+
+// NumDomains is the number of power planes, Package included.
+const NumDomains = 3
+
+// String implements fmt.Stringer with the lowercase names used in
+// metric labels and API fields.
+func (d Domain) String() string {
+	switch d {
+	case PP0:
+		return "pp0"
+	case PP1:
+		return "pp1"
+	case Package:
+		return "package"
+	default:
+		return fmt.Sprintf("Domain(%d)", int(d))
+	}
+}
+
+// Valid reports whether d names a real power plane.
+func (d Domain) Valid() bool { return d >= PP0 && d <= Package }
+
+// DomainCaps is a set of per-plane power limits. Zero (or negative)
+// means the plane is uncapped; the package-level cap usually lives
+// elsewhere (corun.WithPowerCap, server -cap) but may be carried here
+// too when a caller wants all three in one value.
+type DomainCaps struct {
+	PP0     units.Watts `json:"pp0_watts,omitempty"`
+	PP1     units.Watts `json:"pp1_watts,omitempty"`
+	Package units.Watts `json:"package_watts,omitempty"`
+}
+
+// Any reports whether at least one plane is capped.
+func (dc DomainCaps) Any() bool { return dc.PP0 > 0 || dc.PP1 > 0 || dc.Package > 0 }
+
+// Cap returns the configured limit for one plane (0 = uncapped).
+func (dc DomainCaps) Cap(d Domain) units.Watts {
+	switch d {
+	case PP0:
+		return dc.PP0
+	case PP1:
+		return dc.PP1
+	case Package:
+		return dc.Package
+	default:
+		return 0
+	}
+}
+
+// WithPackage returns the caps with the package plane set to the
+// tighter of the existing package cap and pkg — the merge used when a
+// legacy single-cap option meets DomainCaps.
+func (dc DomainCaps) WithPackage(pkg units.Watts) DomainCaps {
+	if pkg > 0 && (dc.Package <= 0 || pkg < dc.Package) {
+		dc.Package = pkg
+	}
+	return dc
+}
+
+// Allows reports whether the split satisfies every configured cap.
+func (dc DomainCaps) Allows(s PowerSplit) bool {
+	if dc.PP0 > 0 && s.PP0 > dc.PP0 {
+		return false
+	}
+	if dc.PP1 > 0 && s.PP1 > dc.PP1 {
+		return false
+	}
+	if dc.Package > 0 && s.Package() > dc.Package {
+		return false
+	}
+	return true
+}
+
+// Binding returns the plane whose cap the split loads most heavily
+// (the largest watts/cap ratio among configured caps), with that
+// ratio. ConstraintNone when no plane is capped.
+func (dc DomainCaps) Binding(s PowerSplit) (Constraint, float64) {
+	best, ratio := ConstraintNone, 0.0
+	check := func(c Constraint, w, cap units.Watts) {
+		if cap <= 0 {
+			return
+		}
+		if r := float64(w) / float64(cap); r > ratio {
+			best, ratio = c, r
+		}
+	}
+	check(ConstraintPP0, s.PP0, dc.PP0)
+	check(ConstraintPP1, s.PP1, dc.PP1)
+	check(ConstraintPackage, s.Package(), dc.Package)
+	return best, ratio
+}
+
+// PowerSplit is one package-power sample broken down by plane. Uncore
+// is the residual neither plane meters (idle/leakage power here).
+type PowerSplit struct {
+	PP0    units.Watts
+	PP1    units.Watts
+	Uncore units.Watts
+}
+
+// Package returns the total package power of the split.
+func (s PowerSplit) Package() units.Watts { return s.PP0 + s.PP1 + s.Uncore }
+
+// Domain returns the split's power on one plane.
+func (s PowerSplit) Domain(d Domain) units.Watts {
+	switch d {
+	case PP0:
+		return s.PP0
+	case PP1:
+		return s.PP1
+	case Package:
+		return s.Package()
+	default:
+		return 0
+	}
+}
+
+// Constraint names whichever limit binds a scheduling decision: one of
+// the power planes, the thermal throttle, or nothing.
+type Constraint int
+
+// The constraints a plan or a simulation can be bound by.
+const (
+	ConstraintNone Constraint = iota
+	ConstraintPP0
+	ConstraintPP1
+	ConstraintPackage
+	ConstraintThermal
+)
+
+// String implements fmt.Stringer with the lowercase names used in
+// metric labels and bench reports.
+func (c Constraint) String() string {
+	switch c {
+	case ConstraintNone:
+		return "none"
+	case ConstraintPP0:
+		return "pp0"
+	case ConstraintPP1:
+		return "pp1"
+	case ConstraintPackage:
+		return "package"
+	case ConstraintThermal:
+		return "thermal"
+	default:
+		return fmt.Sprintf("Constraint(%d)", int(c))
+	}
+}
+
+// SplitPower is PackagePower broken down by plane: PP0 carries the CPU
+// activity plus the host thread feeding a busy GPU (the host burns CPU
+// cycles, so the core plane meters it), PP1 the GPU activity, Uncore
+// the always-on idle power. The sum equals PackagePower with the same
+// arguments up to floating-point association.
+func (c *Config) SplitPower(cpuIdx, gpuIdx int, cpuUtil, gpuUtil float64, gpuBusy bool) PowerSplit {
+	s := PowerSplit{Uncore: c.IdlePower}
+	if cpuUtil >= 0 {
+		s.PP0 += c.ActivityPower(CPU, cpuIdx, cpuUtil)
+	}
+	if gpuUtil >= 0 {
+		s.PP1 += c.ActivityPower(GPU, gpuIdx, gpuUtil)
+	}
+	if gpuBusy {
+		s.PP0 += c.HostPower(cpuIdx)
+	}
+	return s
+}
+
+// MinCoRunSplit returns the per-plane power floor with both devices
+// active at their lowest operating points, fully stalled — the
+// domain-level analogue of MinFreqCap.
+func (c *Config) MinCoRunSplit() PowerSplit {
+	return c.SplitPower(0, 0, 0, 0, true)
+}
+
+// CheckCaps validates a package cap plus per-plane caps against the
+// machine: no cap may be negative, and no configured cap may sit below
+// the corresponding minimum co-run power (lowest operating points,
+// full stalls) — such a cap makes co-running infeasible outright.
+// Every entry point that accepts caps (corun facade, server API,
+// journal recovery) funnels through this check so the error text is
+// identical everywhere.
+func (c *Config) CheckCaps(pkg units.Watts, dc DomainCaps) error {
+	if pkg < 0 {
+		return fmt.Errorf("apu: negative power cap %v", pkg)
+	}
+	if pkg > 0 && pkg < c.MinFreqCap() {
+		return fmt.Errorf("apu: cap %v below the machine's minimum co-run power %v", pkg, c.MinFreqCap())
+	}
+	min := c.MinCoRunSplit()
+	for _, pl := range []struct {
+		d     Domain
+		cap   units.Watts
+		floor units.Watts
+	}{
+		{PP0, dc.PP0, min.PP0},
+		{PP1, dc.PP1, min.PP1},
+		{Package, dc.Package, min.Package()},
+	} {
+		if pl.cap < 0 {
+			return fmt.Errorf("apu: negative %v power cap %v", pl.d, pl.cap)
+		}
+		if pl.cap > 0 && pl.cap < pl.floor {
+			return fmt.Errorf("apu: %v cap %v below the machine's minimum %v co-run power %v",
+				pl.d, pl.cap, pl.d, pl.floor)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package apu
+
+import (
+	"fmt"
+	"math"
+
+	"corun/internal/units"
+)
+
+// ThermalParams is a first-order thermal RC model of the package: both
+// devices dump their heat into one shared heatsink node (the physical
+// reality that makes co-run thermal management interesting — a hot GPU
+// steals thermal headroom from the CPU and vice versa, Dev et al.).
+// The node's temperature follows
+//
+//	C dT/dt = P - (T - Tamb) / R
+//
+// whose exact solution over a step of length dt is
+//
+//	T' = Tsteady + (T - Tsteady) * exp(-dt / (R*C)),  Tsteady = Tamb + P*R
+//
+// Step integrates that closed form, so the model is stable for any
+// step size the simulator's event loop produces.
+type ThermalParams struct {
+	// AmbientC is the heatsink's equilibrium temperature at zero
+	// power, in degrees Celsius.
+	AmbientC float64
+
+	// RThermal is the junction-to-ambient thermal resistance in
+	// degrees Celsius per watt: steady-state rise above ambient is
+	// P * RThermal.
+	RThermal float64
+
+	// CThermal is the lumped heat capacity of die plus heatsink in
+	// joules per degree Celsius; R*C is the thermal time constant.
+	CThermal float64
+
+	// TMaxC is the throttle trip point in degrees Celsius. Zero
+	// disables the thermal model entirely.
+	TMaxC float64
+
+	// HysteresisC is how far below TMaxC the temperature must fall
+	// before a throttled frequency ceiling is released, preventing
+	// trip/release chatter right at the limit.
+	HysteresisC float64
+}
+
+// Enabled reports whether the thermal model is active: a trip point is
+// set and the RC pair is physical.
+func (t ThermalParams) Enabled() bool {
+	return t.TMaxC > 0 && t.RThermal > 0 && t.CThermal > 0
+}
+
+// SteadyC returns the equilibrium temperature at constant power p.
+func (t ThermalParams) SteadyC(p units.Watts) float64 {
+	return t.AmbientC + float64(p)*t.RThermal
+}
+
+// Step advances the heatsink node from tempC over dt seconds at
+// constant power p, using the exact exponential solution of the RC
+// equation (stable for any dt).
+func (t ThermalParams) Step(tempC float64, p units.Watts, dt units.Seconds) float64 {
+	if dt <= 0 || t.RThermal <= 0 || t.CThermal <= 0 {
+		return tempC
+	}
+	steady := t.SteadyC(p)
+	return steady + (tempC-steady)*math.Exp(-float64(dt)/(t.RThermal*t.CThermal))
+}
+
+// Validate checks the parameters' internal consistency. The zero value
+// (model disabled) is valid.
+func (t ThermalParams) Validate() error {
+	if t.RThermal < 0 || t.CThermal < 0 {
+		return fmt.Errorf("apu: negative thermal RC (R=%v, C=%v)", t.RThermal, t.CThermal)
+	}
+	if t.TMaxC < 0 {
+		return fmt.Errorf("apu: negative TMax %v", t.TMaxC)
+	}
+	if t.HysteresisC < 0 {
+		return fmt.Errorf("apu: negative thermal hysteresis %v", t.HysteresisC)
+	}
+	if t.TMaxC > 0 {
+		if t.RThermal <= 0 || t.CThermal <= 0 {
+			return fmt.Errorf("apu: TMax %v set but thermal RC incomplete (R=%v, C=%v)", t.TMaxC, t.RThermal, t.CThermal)
+		}
+		if t.TMaxC <= t.AmbientC {
+			return fmt.Errorf("apu: TMax %v not above ambient %v", t.TMaxC, t.AmbientC)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package apu
+
+import (
+	"math"
+	"testing"
+
+	"corun/internal/units"
+)
+
+// Table-driven step response of the RC model against hand-computed
+// golden values. With R = 2 C/W, C = 5 J/C, Tamb = 25 C the time
+// constant is R*C = 10 s and the steady state at 10 W is
+// 25 + 10*2 = 45 C; from 25 C the response is
+//
+//	T(t) = 45 - 20 * exp(-t/10)
+//
+// so one tau reaches 45 - 20/e = 37.64241117657..., etc. The golden
+// numbers below are computed from that closed form by hand, not by
+// calling the code under test.
+func TestThermalStepResponseGolden(t *testing.T) {
+	p := ThermalParams{AmbientC: 25, RThermal: 2, CThermal: 5, TMaxC: 90}
+	cases := []struct {
+		name  string
+		from  float64
+		watts float64
+		dt    float64
+		want  float64
+	}{
+		{"one tau from ambient at 10W", 25, 10, 10, 37.642411176571153},
+		{"half tau from ambient at 10W", 25, 10, 5, 32.869386805747332},
+		{"two tau from ambient at 10W", 25, 10, 20, 42.293294335267746},
+		{"five tau is steady state", 25, 10, 50, 44.865241060018291},
+		{"cooling from above steady", 65, 10, 10, 52.357588823428847},
+		{"zero power decays to ambient", 45, 0, 10, 32.357588823428847},
+		{"zero dt is identity", 33.125, 10, 0, 33.125},
+		{"already at steady state stays", 45, 10, 7, 45},
+	}
+	for _, tc := range cases {
+		got := p.Step(tc.from, units.Watts(tc.watts), units.Seconds(tc.dt))
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: Step(%v, %vW, %vs) = %.12f, want %.12f",
+				tc.name, tc.from, tc.watts, tc.dt, got, tc.want)
+		}
+	}
+}
+
+// Substep invariance: integrating in two half steps must land exactly
+// where one full step does — the closed form is exact, not Euler.
+func TestThermalStepComposes(t *testing.T) {
+	p := ThermalParams{AmbientC: 25, RThermal: 2, CThermal: 5, TMaxC: 90}
+	one := p.Step(25, 10, 8)
+	two := p.Step(p.Step(25, 10, 4), 10, 4)
+	if math.Abs(one-two) > 1e-9 {
+		t.Errorf("one 8s step %v != two 4s steps %v", one, two)
+	}
+}
+
+func TestThermalSteadyAndEnabled(t *testing.T) {
+	p := ThermalParams{AmbientC: 30, RThermal: 1.6, CThermal: 20, TMaxC: 95}
+	if got := p.SteadyC(10); math.Abs(got-46) > 1e-9 {
+		t.Errorf("SteadyC(10W) = %v, want 46", got)
+	}
+	if !p.Enabled() {
+		t.Error("configured model reports disabled")
+	}
+	if (ThermalParams{}).Enabled() {
+		t.Error("zero model reports enabled")
+	}
+	// The default machine must not throttle at its own max power: the
+	// trip point has to clear the worst-case steady state.
+	cfg := DefaultConfig()
+	maxP := cfg.PackagePower(cfg.MaxFreqIndex(CPU), cfg.MaxFreqIndex(GPU), 1, 1, true)
+	if s := cfg.Thermal.SteadyC(maxP); s >= cfg.Thermal.TMaxC {
+		t.Errorf("default machine steadies at %v C >= TMax %v C", s, cfg.Thermal.TMaxC)
+	}
+}
+
+func TestThermalValidate(t *testing.T) {
+	bad := []ThermalParams{
+		{RThermal: -1},
+		{TMaxC: -5},
+		{TMaxC: 90, RThermal: 1}, // C missing
+		{TMaxC: 20, AmbientC: 25, RThermal: 1, CThermal: 10}, // trip below ambient
+		{TMaxC: 90, RThermal: 1, CThermal: 10, HysteresisC: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+	if err := (ThermalParams{}).Validate(); err != nil {
+		t.Errorf("zero value (disabled) rejected: %v", err)
+	}
+	if err := DefaultConfig().Thermal.Validate(); err != nil {
+		t.Errorf("default thermal rejected: %v", err)
+	}
+}

@@ -76,12 +76,13 @@ func (d *randomDispatcher) Next(dev apu.Device, view *sim.View) *sim.Dispatch {
 // paper's comparison (GPU-biased by default there).
 func ExecuteRandom(opts ExecOptions, batch []*workload.Instance, seed int64, bias sim.Bias) (*sim.Result, error) {
 	simOpts := sim.Options{
-		Cfg:      opts.Cfg,
-		Mem:      opts.Mem,
-		PowerCap: opts.Cap,
+		Cfg:        opts.Cfg,
+		Mem:        opts.Mem,
+		PowerCap:   opts.Cap,
+		DomainCaps: opts.Domains,
 	}
-	if opts.Cap > 0 {
-		simOpts.Governor = &sim.BiasedGovernor{Cap: opts.Cap, Bias: bias}
+	if opts.Cap > 0 || opts.Domains.Any() {
+		simOpts.Governor = &sim.BiasedGovernor{Cap: opts.Cap, Domains: opts.Domains, Bias: bias}
 	}
 	return sim.Run(simOpts, newRandomDispatcher(batch, seed))
 }
@@ -171,13 +172,14 @@ func ExecuteDefault(opts ExecOptions, batch []*workload.Instance, o Oracle, bias
 		gpuQ = append(gpuQ, batch[j])
 	}
 	simOpts := sim.Options{
-		Cfg:      opts.Cfg,
-		Mem:      opts.Mem,
-		PowerCap: opts.Cap,
-		CPUSlots: maxInt(1, len(cpuQ)),
+		Cfg:        opts.Cfg,
+		Mem:        opts.Mem,
+		PowerCap:   opts.Cap,
+		DomainCaps: opts.Domains,
+		CPUSlots:   maxInt(1, len(cpuQ)),
 	}
-	if opts.Cap > 0 {
-		simOpts.Governor = &sim.BiasedGovernor{Cap: opts.Cap, Bias: bias}
+	if opts.Cap > 0 || opts.Domains.Any() {
+		simOpts.Governor = &sim.BiasedGovernor{Cap: opts.Cap, Domains: opts.Domains, Bias: bias}
 	}
 	return sim.Run(simOpts, sim.NewQueueDispatcher(cpuQ, gpuQ, nil))
 }

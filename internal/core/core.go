@@ -59,6 +59,15 @@ type Context struct {
 	// Cap is the package power cap; zero or negative means uncapped.
 	Cap units.Watts
 
+	// Domains are optional RAPL-style per-plane caps enforced on top of
+	// Cap: a PP0 entry bounds the CPU cores' power, PP1 the iGPU's, and
+	// a Package entry tightens Cap. Like FreqStride, set it before the
+	// first query — the memo tables assume the caps are fixed. Plane
+	// splits come from the Oracle when it implements model.DomainOracle
+	// (the Context type-asserts for a CoRunSplit method); otherwise a
+	// conservative split is derived from the standalone powers.
+	Domains apu.DomainCaps
+
 	// FreqStride coarsens the frequency traversal: only every
 	// FreqStride-th level (counted down from the maximum) is examined.
 	// The default 1 is the paper's exhaustive traversal; larger values
@@ -136,8 +145,93 @@ func (cx *Context) freqLevels(d apu.Device) []int {
 	return out
 }
 
-// Capped reports whether a power cap is in force.
-func (cx *Context) Capped() bool { return cx.Cap > 0 }
+// Capped reports whether any power constraint is in force — the
+// package cap or any configured domain cap.
+func (cx *Context) Capped() bool { return cx.Cap > 0 || cx.Domains.Any() }
+
+// packageCap returns the effective package limit: the tighter of Cap
+// and the Domains' package entry (zero = uncapped).
+func (cx *Context) packageCap() units.Watts {
+	c := cx.Cap
+	if p := cx.Domains.Package; p > 0 && (c <= 0 || p < c) {
+		c = p
+	}
+	return c
+}
+
+// domainOracle is the per-plane extension the Context looks for on its
+// Oracle; it mirrors model.DomainOracle without importing the package.
+type domainOracle interface {
+	CoRunSplit(i, f, j, g int) apu.PowerSplit
+}
+
+// split breaks the pair's predicted power into planes, preferring the
+// oracle's own decomposition. The fallback attributes everything above
+// idle to the plane of the device running it — conservative for PP0
+// (the host thread lands in PP1's gross term) but exact in total.
+func (cx *Context) split(i, f, j, g int) apu.PowerSplit {
+	if d, ok := cx.Oracle.(domainOracle); ok {
+		return d.CoRunSplit(i, f, j, g)
+	}
+	idle := cx.Oracle.CoRunPower(-1, 0, -1, 0)
+	s := apu.PowerSplit{Uncore: idle}
+	if i >= 0 {
+		s.PP0 = cx.Oracle.StandalonePower(i, apu.CPU, f) - idle
+	}
+	if j >= 0 {
+		s.PP1 = cx.Oracle.StandalonePower(j, apu.GPU, g) - idle
+	}
+	return s
+}
+
+// planesFit reports whether the pair's plane split respects the
+// configured PP0/PP1 caps.
+func (cx *Context) planesFit(i, f, j, g int) bool {
+	if cx.Domains.PP0 <= 0 && cx.Domains.PP1 <= 0 {
+		return true
+	}
+	s := cx.split(i, f, j, g)
+	if cx.Domains.PP0 > 0 && s.PP0 > cx.Domains.PP0 {
+		return false
+	}
+	if cx.Domains.PP1 > 0 && s.PP1 > cx.Domains.PP1 {
+		return false
+	}
+	return true
+}
+
+// pairFits reports whether the co-run operating point fits every
+// configured constraint: the effective package cap and the plane caps.
+func (cx *Context) pairFits(c, fc, g, fg int) bool {
+	if pc := cx.packageCap(); pc > 0 && cx.Oracle.CoRunPower(c, fc, g, fg) > pc {
+		return false
+	}
+	return cx.planesFit(c, fc, g, fg)
+}
+
+// soloFits is pairFits for a solo run of job i on device d at level f.
+func (cx *Context) soloFits(i int, d apu.Device, f int) bool {
+	if pc := cx.packageCap(); pc > 0 && cx.Oracle.StandalonePower(i, d, f) > pc {
+		return false
+	}
+	ci, fc, gi, fg := i, f, -1, 0
+	if d == apu.GPU {
+		ci, fc, gi, fg = -1, 0, i, f
+	}
+	return cx.planesFit(ci, fc, gi, fg)
+}
+
+// Binding reports which constraint binds first at the pair's operating
+// point — the plane or package cap with the highest utilization — and
+// that utilization (predicted watts over the cap). ConstraintNone when
+// nothing is configured.
+func (cx *Context) Binding(c, fc, g, fg int) (apu.Constraint, float64) {
+	dc := cx.Domains.WithPackage(cx.Cap)
+	if !dc.Any() {
+		return apu.ConstraintNone, 0
+	}
+	return dc.Binding(cx.split(c, fc, g, fg))
+}
 
 // BestSoloFreq returns the fastest cap-feasible frequency level for
 // job i running alone on device d, preferring higher levels (times are
@@ -152,7 +246,7 @@ func (cx *Context) BestSoloFreq(i int, d apu.Device) (int, bool) {
 	cx.mu.Unlock()
 	choice := soloChoice{f: 0, ok: false}
 	for f := cx.Cfg.MaxFreqIndex(d); f >= 0; f-- {
-		if !cx.Capped() || cx.Oracle.StandalonePower(i, d, f) <= cx.Cap {
+		if !cx.Capped() || cx.soloFits(i, d, f) {
 			choice = soloChoice{f: f, ok: true}
 			break
 		}
@@ -240,7 +334,7 @@ func (cx *Context) choosePairFreqsUncached(c, g int) pairChoice {
 	bestScore := -1.0
 	for _, fc := range cx.freqLevels(apu.CPU) {
 		for _, fg := range cx.freqLevels(apu.GPU) {
-			if cx.Capped() && o.CoRunPower(c, fc, g, fg) > cx.Cap {
+			if cx.Capped() && !cx.pairFits(c, fc, g, fg) {
 				continue
 			}
 			dc := o.Degradation(c, apu.CPU, fc, g, fg)
@@ -267,7 +361,7 @@ func (cx *Context) MinPairDegradation(c, g int) (float64, bool) {
 	found := false
 	for _, fc := range cx.freqLevels(apu.CPU) {
 		for _, fg := range cx.freqLevels(apu.GPU) {
-			if cx.Capped() && o.CoRunPower(c, fc, g, fg) > cx.Cap {
+			if cx.Capped() && !cx.pairFits(c, fc, g, fg) {
 				continue
 			}
 			d := o.Degradation(c, apu.CPU, fc, g, fg) + o.Degradation(g, apu.GPU, fg, c, fc)

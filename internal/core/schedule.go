@@ -334,6 +334,9 @@ type ExecOptions struct {
 	Mem *memsys.Model
 	// Cap is the package power cap enforced/reported during execution.
 	Cap units.Watts
+	// Domains are optional per-plane caps enforced/reported alongside
+	// Cap (see Context.Domains).
+	Domains apu.DomainCaps
 }
 
 // Execute runs the schedule on the ground-truth simulator. Instance IDs
@@ -349,10 +352,11 @@ func (cx *Context) Execute(s *Schedule, batch []*workload.Instance, opts ExecOpt
 		}
 	}
 	simOpts := sim.Options{
-		Cfg:      opts.Cfg,
-		Mem:      opts.Mem,
-		PowerCap: opts.Cap,
-		Governor: &planGovernor{cx: cx},
+		Cfg:        opts.Cfg,
+		Mem:        opts.Mem,
+		PowerCap:   opts.Cap,
+		DomainCaps: opts.Domains,
+		Governor:   &planGovernor{cx: cx},
 		// The planned schedule controls frequencies; start from the
 		// floor so the first dispatch's directive decides.
 		InitCPUFreq: sim.Pin(0),

@@ -82,6 +82,13 @@ type Record struct {
 	// explicit 0 = uncapped survives encoding).
 	CapWatts *float64 `json:"cap_watts,omitempty"`
 
+	// PP0Watts and PP1Watts are the per-plane caps accompanying a
+	// TypeCapChanged record (nil = that plane unconfigured). Absent on
+	// journals written before the domain model existed, which replays
+	// as no plane caps.
+	PP0Watts *float64 `json:"pp0_watts,omitempty"`
+	PP1Watts *float64 `json:"pp1_watts,omitempty"`
+
 	// Policy is the new scheduling policy for TypePolicyChanged.
 	Policy string `json:"policy,omitempty"`
 

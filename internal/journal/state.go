@@ -10,8 +10,11 @@ import "fmt"
 type State struct {
 	// CapWatts is nil until a cap record has been journaled; a
 	// pointer, not a zero value, because 0 is a meaningful cap
-	// (uncapped).
+	// (uncapped). PP0Watts/PP1Watts mirror the per-plane caps of the
+	// last cap record (nil = plane unconfigured).
 	CapWatts  *float64     `json:"cap_watts,omitempty"`
+	PP0Watts  *float64     `json:"pp0_watts,omitempty"`
+	PP1Watts  *float64     `json:"pp1_watts,omitempty"`
 	Policy    string       `json:"policy,omitempty"`
 	SimClockS float64      `json:"sim_clock_s,omitempty"`
 	Jobs      []*JobRecord `json:"jobs,omitempty"`
@@ -56,12 +59,24 @@ func (st *State) Apply(r Record) error {
 	case TypeCapChanged:
 		v := *r.CapWatts
 		st.CapWatts = &v
+		// Each cap record carries the full cap state, so the planes
+		// replace too: a record without them clears any prior caps.
+		st.PP0Watts = copyFloat(r.PP0Watts)
+		st.PP1Watts = copyFloat(r.PP1Watts)
 	case TypePolicyChanged:
 		st.Policy = r.Policy
 	default:
 		return fmt.Errorf("journal: unknown record type %q", r.Type)
 	}
 	return nil
+}
+
+func copyFloat(p *float64) *float64 {
+	if p == nil {
+		return nil
+	}
+	v := *p
+	return &v
 }
 
 // Job returns the most recent record for one job ID.
@@ -83,10 +98,9 @@ func (st *State) Clone() *State {
 		byID:      make(map[string]int, len(st.Jobs)),
 		Jobs:      make([]*JobRecord, len(st.Jobs)),
 	}
-	if st.CapWatts != nil {
-		v := *st.CapWatts
-		out.CapWatts = &v
-	}
+	out.CapWatts = copyFloat(st.CapWatts)
+	out.PP0Watts = copyFloat(st.PP0Watts)
+	out.PP1Watts = copyFloat(st.PP1Watts)
 	for i, jr := range st.Jobs {
 		c := *jr
 		if jr.DeadlineMet != nil {

@@ -760,7 +760,7 @@ func serverStats(pre, post map[string]float64) *ServerStats {
 		}
 		return d
 	}
-	return &ServerStats{
+	st := &ServerStats{
 		Epochs:         delta("corund_epochs_total"),
 		JobsSubmitted:  delta("corund_jobs_submitted_total"),
 		JobsDone:       delta("corund_jobs_done_total"),
@@ -770,7 +770,20 @@ func serverStats(pre, post map[string]float64) *ServerStats {
 		JournalBytes:   delta("corund_journal_bytes_total"),
 		QueueDepth:     post["corund_queue_depth"],
 		SimClockS:      post["corund_sim_clock_seconds"],
+		PP0Watts:       post[`corund_domain_watts{domain="pp0"}`],
+		PP1Watts:       post[`corund_domain_watts{domain="pp1"}`],
+		TempC:          post["corund_temp_celsius"],
+		Throttles:      delta("corund_throttle_total"),
 	}
+	// The binding-constraint gauge vec holds 1 on exactly one series;
+	// absent on daemons predating the domain model.
+	for _, c := range []string{"none", "pp0", "pp1", "package", "thermal"} {
+		if post[`corund_binding_constraint{constraint="`+c+`"}`] == 1 {
+			st.BindingConstraint = c
+			break
+		}
+	}
+	return st
 }
 
 func tenantReport(te TenantEntry, ts *tenantStats) TenantReport {

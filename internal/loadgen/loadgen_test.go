@@ -65,7 +65,7 @@ func TestRunClosedLoopSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if rep.Bench != 9 || rep.GeneratedBy != "corunbench" {
+	if rep.Bench != 10 || rep.GeneratedBy != "corunbench" {
 		t.Errorf("report identity: bench=%d generated_by=%q", rep.Bench, rep.GeneratedBy)
 	}
 	if rep.Accepted == 0 {

@@ -13,14 +13,16 @@ import (
 // benchIndex stamps the report with the bench-trajectory index of the
 // harness's current schema; BENCH_<benchIndex>.json is the canonical
 // output name. Bumped to 7 when the multi-tenant mix and per-tenant
-// latency sections were added, and to 9 for the sharded, async-commit
+// latency sections were added, to 9 for the sharded, async-commit
 // serving path (single-node throughput is measured against the
-// batched-fsync journal writer from 9 on). Fleet runs (the harness
-// pointed at a corund -coordinator) stamp benchIndexFleet instead —
-// they answer a different question (fleet scaling vs single-node
-// serving cost), so they get their own trajectory slot.
+// batched-fsync journal writer from 9 on), and to 10 when the server
+// stats grew the per-plane watts, temperature, throttle count, and
+// binding-constraint fields of the power-domain model. Fleet runs (the
+// harness pointed at a corund -coordinator) stamp benchIndexFleet
+// instead — they answer a different question (fleet scaling vs
+// single-node serving cost), so they get their own trajectory slot.
 const (
-	benchIndex      = 9
+	benchIndex      = 10
 	benchIndexFleet = 8
 )
 
@@ -91,6 +93,17 @@ type ServerStats struct {
 	JournalBytes   float64 `json:"journal_bytes"`
 	QueueDepth     float64 `json:"queue_depth"`
 	SimClockS      float64 `json:"sim_clock_s"`
+
+	// The power-domain view of the run: the last epoch's per-plane
+	// watts and peak temperature, throttle events over the window, and
+	// which constraint (none | pp0 | pp1 | package | thermal) bound the
+	// final epoch. Zero/empty against daemons predating the domain
+	// model.
+	PP0Watts          float64 `json:"pp0_watts,omitempty"`
+	PP1Watts          float64 `json:"pp1_watts,omitempty"`
+	TempC             float64 `json:"temp_celsius,omitempty"`
+	Throttles         float64 `json:"throttle_events,omitempty"`
+	BindingConstraint string  `json:"binding_constraint,omitempty"`
 }
 
 // MicroResult is one in-process micro-benchmark (testing.Benchmark)

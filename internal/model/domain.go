@@ -1,0 +1,73 @@
+package model
+
+import (
+	"corun/internal/apu"
+	"corun/internal/profile"
+)
+
+// DomainOracle is the optional per-plane extension of Oracle: oracles
+// that can break their co-run power prediction down into RAPL-style
+// planes implement it, and the scheduling layer type-asserts for it
+// when domain caps are configured (falling back to a conservative
+// derivation otherwise).
+type DomainOracle interface {
+	// CoRunSplit predicts the per-plane power of job i on the CPU at
+	// level f co-running with job j on the GPU at level g; negative
+	// indices denote an idle device. The split's Package() total
+	// equals CoRunPower with the same arguments.
+	CoRunSplit(i, f, j, g int) apu.PowerSplit
+}
+
+// profileSplit breaks the standalone-sum power model down by plane.
+// The profile's conventions (see profile.standalonePower): a CPU solo
+// measurement is idle + CPU activity; a GPU solo measurement is idle +
+// GPU activity + the host thread at the lowest CPU operating point.
+// Subtracting those known terms reassigns every watt to its plane —
+// the host thread burns CPU cycles, so PP0 meters it — and the plane
+// sums rebuild CoRunPower exactly.
+func profileSplit(prof *profile.Standalone, i, f, j, g int) apu.PowerSplit {
+	cfg := prof.Cfg
+	idle := cfg.IdlePower
+	s := apu.PowerSplit{Uncore: idle}
+	if i >= 0 {
+		s.PP0 += prof.Power(i, apu.CPU, f) - idle
+	}
+	if j >= 0 {
+		host := cfg.HostPower(0)
+		s.PP1 += prof.Power(j, apu.GPU, g) - idle - host
+		s.PP0 += host
+	}
+	return s
+}
+
+// CoRunSplit implements DomainOracle over the standalone profiles.
+func (p *Predictor) CoRunSplit(i, f, j, g int) apu.PowerSplit {
+	return profileSplit(p.Prof, i, f, j, g)
+}
+
+// CoRunSplit implements DomainOracle; like CoRunPower it uses the
+// standalone-sum model (the paper's power model is near-exact, so the
+// ground-truth arm only re-measures degradation).
+func (o *GroundTruthOracle) CoRunSplit(i, f, j, g int) apu.PowerSplit {
+	return profileSplit(o.Prof, i, f, j, g)
+}
+
+// CoRunSplit forwards to the wrapped oracle when it is domain-aware;
+// plane splits are two table reads, nothing worth memoizing.
+func (c *CachedPredictor) CoRunSplit(i, f, j, g int) apu.PowerSplit {
+	if d, ok := c.base.(DomainOracle); ok {
+		return d.CoRunSplit(i, f, j, g)
+	}
+	// A non-domain-aware base: attribute everything above idle to the
+	// plane of the device that runs it (host thread included in PP1's
+	// gross term — conservative for PP0, exact for the package total).
+	idle := c.base.CoRunPower(-1, 0, -1, 0)
+	s := apu.PowerSplit{Uncore: idle}
+	if i >= 0 {
+		s.PP0 = c.base.StandalonePower(i, apu.CPU, f) - idle
+	}
+	if j >= 0 {
+		s.PP1 = c.base.StandalonePower(j, apu.GPU, g) - idle
+	}
+	return s
+}

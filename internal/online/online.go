@@ -120,6 +120,10 @@ type Options struct {
 	Mem  *memsys.Model
 	Char *model.Characterization
 	Cap  units.Watts
+	// Domains are optional RAPL-style per-plane caps (PP0 = CPU cores,
+	// PP1 = iGPU, Package tightens Cap) enforced during planning and
+	// execution alongside Cap.
+	Domains apu.DomainCaps
 
 	Policy Policy
 	// Seed drives the Random policy and refinement sampling.
@@ -155,6 +159,9 @@ func (o Options) Validate() error {
 	}
 	if o.Cap < 0 {
 		return fmt.Errorf("online: negative power cap %v", o.Cap)
+	}
+	if err := o.Cfg.CheckCaps(o.Cap, o.Domains); err != nil {
+		return err
 	}
 	// Every policy except the dispatcher-driven Random baseline plans
 	// over the predictive model and therefore needs the offline
@@ -324,7 +331,7 @@ func PlanEpoch(opts Options, batch []*workload.Instance, seed int64) (*Epoch, er
 	if err != nil {
 		return nil, err
 	}
-	execOpts := core.ExecOptions{Cfg: opts.Cfg, Mem: opts.Mem, Cap: opts.Cap}
+	execOpts := core.ExecOptions{Cfg: opts.Cfg, Mem: opts.Mem, Cap: opts.Cap, Domains: opts.Domains}
 	switch pol {
 	case PolicyRandom:
 		if opts.Planned != nil {
@@ -357,6 +364,7 @@ func PlanEpoch(opts Options, batch []*workload.Instance, seed int64) (*Epoch, er
 		if err != nil {
 			return nil, err
 		}
+		cx.Domains = opts.Domains // before the first query: the memos assume fixed caps
 		plan, err := policy.Plan(string(pol), cx, policy.Options{Seed: seed})
 		if err != nil {
 			return nil, err

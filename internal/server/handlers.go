@@ -223,21 +223,46 @@ func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write(c.body)
 }
 
+func (s *Server) capBody() map[string]float64 {
+	dc := s.DomainCaps()
+	return map[string]float64{
+		"cap_watts": float64(s.Cap()),
+		"pp0_watts": float64(dc.PP0),
+		"pp1_watts": float64(dc.PP1),
+	}
+}
+
 func (s *Server) handleGetCap(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]float64{"cap_watts": float64(s.Cap())})
+	writeJSON(w, http.StatusOK, s.capBody())
 }
 
 func (s *Server) handleSetCap(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		CapWatts *float64 `json:"cap_watts"`
+		PP0Watts *float64 `json:"pp0_watts"`
+		PP1Watts *float64 `json:"pp1_watts"`
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil || req.CapWatts == nil {
-		writeErr(w, http.StatusBadRequest, errors.New(`server: body must be {"cap_watts": <number>} (0 = uncapped)`))
+	if err := dec.Decode(&req); err != nil || (req.CapWatts == nil && req.PP0Watts == nil && req.PP1Watts == nil) {
+		writeErr(w, http.StatusBadRequest, errors.New(`server: body must set at least one of {"cap_watts", "pp0_watts", "pp1_watts"} (0 = uncapped)`))
 		return
 	}
-	if err := s.SetCap(units.Watts(*req.CapWatts)); err != nil {
+	// Absent fields keep their current value, so a package-only client
+	// (or an old one that never learned the plane fields) doesn't
+	// silently clear plane caps set by someone else.
+	cap := s.Cap()
+	dc := s.DomainCaps()
+	if req.CapWatts != nil {
+		cap = units.Watts(*req.CapWatts)
+	}
+	if req.PP0Watts != nil {
+		dc.PP0 = units.Watts(*req.PP0Watts)
+	}
+	if req.PP1Watts != nil {
+		dc.PP1 = units.Watts(*req.PP1Watts)
+	}
+	if err := s.SetCaps(cap, dc); err != nil {
 		if errors.Is(err, ErrDegraded) || errors.Is(err, ErrJournal) {
 			s.shedErr(w, err)
 			return
@@ -245,7 +270,7 @@ func (s *Server) handleSetCap(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]float64{"cap_watts": float64(s.Cap())})
+	writeJSON(w, http.StatusOK, s.capBody())
 }
 
 // handlePolicies lists the policy registry — the set a POST /v1/policy

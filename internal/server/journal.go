@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"corun/internal/admission"
+	"corun/internal/apu"
 	"corun/internal/fault"
 	"corun/internal/journal"
 	"corun/internal/online"
@@ -55,14 +56,22 @@ func (s *Server) openJournal() error {
 	}
 	if st.CapWatts != nil {
 		cap := units.Watts(*st.CapWatts)
-		if err := checkCap(s.cfg.Machine, cap); err != nil {
+		var dc apu.DomainCaps
+		if st.PP0Watts != nil {
+			dc.PP0 = units.Watts(*st.PP0Watts)
+		}
+		if st.PP1Watts != nil {
+			dc.PP1 = units.Watts(*st.PP1Watts)
+		}
+		if err := s.cfg.Machine.CheckCaps(cap, dc); err != nil {
 			return fail(fmt.Errorf("server: recovered power cap: %w", err))
 		}
 		s.setCapWatts(cap)
+		s.setDomainWatts(dc)
 		s.m.capWatts.Set(float64(cap))
+		s.publishDomainCapGauges(dc)
 	} else {
-		w := float64(s.capWatts())
-		if err := jl.Append(journal.Record{Type: journal.TypeCapChanged, CapWatts: &w}); err != nil {
+		if err := jl.Append(capRecord(s.capWatts(), s.domainWatts())); err != nil {
 			return fail(err)
 		}
 	}

@@ -26,6 +26,15 @@ type metrics struct {
 	capUtil      *promtext.Gauge
 	simClock     *promtext.Gauge
 
+	// Domain and thermal instrumentation: measured per-plane watts of
+	// the most recent epoch, the configured plane caps, the heatsink
+	// temperature, throttle events, and which constraint bound the run.
+	domainWatts    *promtext.GaugeVec
+	domainCapWatts *promtext.GaugeVec
+	tempC          *promtext.Gauge
+	throttleTotal  *promtext.Counter
+	binding        *promtext.GaugeVec
+
 	// Journal instrumentation. Registered unconditionally so
 	// dashboards see zeros (not absent series) on in-memory daemons.
 	jlAppends       *promtext.Counter
@@ -103,6 +112,16 @@ func newMetrics() *metrics {
 			"Most recent epoch's average power as a fraction of the cap."),
 		simClock: reg.NewGauge("corund_sim_clock_seconds",
 			"The node's scheduling clock (sum of epoch makespans)."),
+		domainWatts: reg.NewGaugeVec("corund_domain_watts",
+			"Most recent epoch's average power by RAPL-style plane (pp0 = CPU cores, pp1 = iGPU).", "domain"),
+		domainCapWatts: reg.NewGaugeVec("corund_domain_cap_watts",
+			"Configured per-plane power cap (0 = plane uncapped).", "domain"),
+		tempC: reg.NewGauge("corund_temp_celsius",
+			"Peak heatsink temperature of the most recent epoch (thermal RC model)."),
+		throttleTotal: reg.NewCounter("corund_throttle_total",
+			"Thermal throttle events: frequency-ceiling steps taken at the trip point."),
+		binding: reg.NewGaugeVec("corund_binding_constraint",
+			"1 for the constraint that bound the most recent epoch (pp0, pp1, package, thermal, or none).", "constraint"),
 		jlAppends: reg.NewCounter("corund_journal_appends_total",
 			"Records appended to the durable state journal."),
 		jlFsyncs: reg.NewCounter("corund_journal_fsyncs_total",
@@ -158,6 +177,13 @@ func newMetrics() *metrics {
 	// instead of absent series before the first epoch.
 	for _, p := range online.Policies() {
 		m.scheduled.Add(p.String(), 0)
+	}
+	for _, d := range []string{"pp0", "pp1"} {
+		m.domainWatts.Set(d, 0)
+		m.domainCapWatts.Set(d, 0)
+	}
+	for _, c := range bindingConstraints {
+		m.binding.Set(c, 0)
 	}
 	return m
 }

@@ -120,6 +120,11 @@ type Config struct {
 	// Cap is the package power cap in watts (0 = uncapped).
 	Cap units.Watts
 
+	// Domains are optional RAPL-style per-plane caps enforced alongside
+	// Cap: PP0 bounds the CPU cores, PP1 the iGPU. Like Cap they can be
+	// changed live (POST /v1/cap) and are journaled/restored.
+	Domains apu.DomainCaps
+
 	// Policy plans each epoch; defaults to PolicyHCSPlus.
 	Policy online.Policy
 
@@ -293,6 +298,16 @@ type PlanView struct {
 	CapUtilization float64 `json:"cap_utilization,omitempty"`
 	EnergyJoules   float64 `json:"energy_joules,omitempty"`
 
+	// Per-plane caps the epoch planned under, the measured plane
+	// powers, and the thermal outcome.
+	PP0CapWatts       float64 `json:"pp0_cap_watts,omitempty"`
+	PP1CapWatts       float64 `json:"pp1_cap_watts,omitempty"`
+	AvgPP0Watts       float64 `json:"avg_pp0_watts,omitempty"`
+	AvgPP1Watts       float64 `json:"avg_pp1_watts,omitempty"`
+	MaxTempC          float64 `json:"max_temp_c,omitempty"`
+	Throttles         int     `json:"throttles,omitempty"`
+	BindingConstraint string  `json:"binding_constraint,omitempty"`
+
 	ClockStartS float64 `json:"clock_start_s"`
 	ClockEndS   float64 `json:"clock_end_s,omitempty"`
 
@@ -372,6 +387,8 @@ type Server struct {
 	// Control state read on the request path, written by control calls
 	// and the scheduler: float64 bit patterns and pointers.
 	capBits   atomic.Uint64            // units.Watts
+	pp0Bits   atomic.Uint64            // units.Watts (0 = plane uncapped)
+	pp1Bits   atomic.Uint64            // units.Watts (0 = plane uncapped)
 	policyV   atomic.Pointer[string]   // online.Policy as string
 	simClock  atomic.Uint64            // units.Seconds
 	lastPlan  atomic.Pointer[PlanView] // immutable once stored
@@ -418,11 +435,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	// Reuse the epoch scheduler's own option validation so the daemon
 	// rejects exactly what PlanEpoch would.
-	probe := online.Options{Cfg: cfg.Machine, Mem: cfg.Mem, Char: cfg.Char, Cap: cfg.Cap, Policy: cfg.Policy}
+	probe := online.Options{Cfg: cfg.Machine, Mem: cfg.Mem, Char: cfg.Char, Cap: cfg.Cap, Domains: cfg.Domains, Policy: cfg.Policy}
 	if err := probe.Validate(); err != nil {
 		return nil, err
 	}
-	if err := checkCap(cfg.Machine, cfg.Cap); err != nil {
+	if err := cfg.Machine.CheckCaps(cfg.Cap, cfg.Domains); err != nil {
 		return nil, err
 	}
 	if cfg.MaxQueue < 0 {
@@ -461,8 +478,10 @@ func New(cfg Config) (*Server, error) {
 		s.m.nodeInfo.Set(cfg.NodeID, 1)
 	}
 	s.setCapWatts(cfg.Cap)
+	s.setDomainWatts(cfg.Domains)
 	s.setPolicyNow(cfg.Policy)
 	s.m.capWatts.Set(float64(cfg.Cap))
+	s.publishDomainCapGauges(cfg.Domains)
 	s.faults = cfg.Faults
 	s.faults.Subscribe(func(ev fault.Event) {
 		s.m.faultHits.Inc(ev.Site)
@@ -534,22 +553,29 @@ func (s *Server) mintJobID() string {
 	return string(buf)
 }
 
-func checkCap(machine *apu.Config, cap units.Watts) error {
-	if cap < 0 {
-		return fmt.Errorf("server: negative power cap %v", cap)
-	}
-	if cap > 0 && cap < machine.MinFreqCap() {
-		return fmt.Errorf("server: cap %v below the machine's minimum co-run power %v", cap, machine.MinFreqCap())
-	}
-	return nil
-}
-
 // Atomic accessors for the control state read on the request path.
 
 func (s *Server) setCapWatts(c units.Watts) { s.capBits.Store(math.Float64bits(float64(c))) }
 
 func (s *Server) capWatts() units.Watts {
 	return units.Watts(math.Float64frombits(s.capBits.Load()))
+}
+
+func (s *Server) setDomainWatts(dc apu.DomainCaps) {
+	s.pp0Bits.Store(math.Float64bits(float64(dc.PP0)))
+	s.pp1Bits.Store(math.Float64bits(float64(dc.PP1)))
+}
+
+func (s *Server) domainWatts() apu.DomainCaps {
+	return apu.DomainCaps{
+		PP0: units.Watts(math.Float64frombits(s.pp0Bits.Load())),
+		PP1: units.Watts(math.Float64frombits(s.pp1Bits.Load())),
+	}
+}
+
+func (s *Server) publishDomainCapGauges(dc apu.DomainCaps) {
+	s.m.domainCapWatts.Set("pp0", float64(dc.PP0))
+	s.m.domainCapWatts.Set("pp1", float64(dc.PP1))
 }
 
 func (s *Server) setPolicyNow(p online.Policy) {
@@ -757,18 +783,27 @@ func (s *Server) QueueDepth() int {
 // Cap returns the active power cap.
 func (s *Server) Cap() units.Watts { return s.capWatts() }
 
-// SetCap changes the power cap live; it applies from the next epoch.
-// The change is journaled before it is acknowledged (or applied), so
-// a restart restores it.
+// DomainCaps returns the active per-plane caps (zero = unenforced).
+func (s *Server) DomainCaps() apu.DomainCaps { return s.domainWatts() }
+
+// SetCap changes the package power cap live, leaving any per-plane
+// caps as they are; it applies from the next epoch.
 func (s *Server) SetCap(cap units.Watts) error {
-	if err := checkCap(s.cfg.Machine, cap); err != nil {
+	return s.SetCaps(cap, s.domainWatts())
+}
+
+// SetCaps changes the package and per-plane power caps together; they
+// apply from the next epoch. The change is journaled as one record
+// before it is acknowledged (or applied), so a restart restores the
+// full cap state atomically.
+func (s *Server) SetCaps(cap units.Watts, dc apu.DomainCaps) error {
+	if err := s.cfg.Machine.CheckCaps(cap, dc); err != nil {
 		return err
 	}
 	s.ctlMu.Lock()
 	defer s.ctlMu.Unlock()
 	if s.jl != nil {
-		w := float64(cap)
-		if err := s.appendDurable(journal.Record{Type: journal.TypeCapChanged, CapWatts: &w}); err != nil {
+		if err := s.appendDurable(capRecord(cap, dc)); err != nil {
 			if errors.Is(err, ErrDegraded) {
 				return err
 			}
@@ -776,8 +811,27 @@ func (s *Server) SetCap(cap units.Watts) error {
 		}
 	}
 	s.setCapWatts(cap)
+	s.setDomainWatts(dc)
 	s.m.capWatts.Set(float64(cap))
+	s.publishDomainCapGauges(dc)
 	return nil
+}
+
+// capRecord journals the full cap state: the package cap always, each
+// plane only when configured (so old-journal replay semantics — no
+// pointer, no plane cap — stay symmetric with new writes).
+func capRecord(cap units.Watts, dc apu.DomainCaps) journal.Record {
+	w := float64(cap)
+	r := journal.Record{Type: journal.TypeCapChanged, CapWatts: &w}
+	if dc.PP0 > 0 {
+		v := float64(dc.PP0)
+		r.PP0Watts = &v
+	}
+	if dc.PP1 > 0 {
+		v := float64(dc.PP1)
+		r.PP1Watts = &v
+	}
+	return r
 }
 
 // Policy returns the active epoch policy.
@@ -1034,6 +1088,7 @@ func (s *Server) runEpoch(claimed []admission.Entry) {
 	}
 	epoch := s.epochCount + 1
 	capW, policy := s.capWatts(), s.policyNow()
+	domains := s.domainWatts()
 	clock := s.clock()
 	seed := epochSeed(s.cfg.Seed, epoch)
 	insts := make([]*workload.Instance, len(batch))
@@ -1050,7 +1105,7 @@ func (s *Server) runEpoch(claimed []admission.Entry) {
 		insts[i] = inst
 	}
 	s.publishBatch(batch)
-	pv := newPlanView(epoch, policy, capW, clock, batch)
+	pv := newPlanView(epoch, policy, capW, domains, clock, batch)
 	pv.State = "planning"
 	s.lastPlan.Store(&pv)
 	if specErr != nil {
@@ -1068,7 +1123,7 @@ func (s *Server) runEpoch(claimed []admission.Entry) {
 
 	opts := online.Options{
 		Cfg: s.cfg.Machine, Mem: s.cfg.Mem, Char: s.cfg.Char,
-		Cap: capW, Policy: policy, Seed: seed,
+		Cap: capW, Domains: domains, Policy: policy, Seed: seed,
 	}
 	opts.Planned = func(plan *core.Schedule, predicted units.Seconds) {
 		for i := range batch {
@@ -1078,7 +1133,7 @@ func (s *Server) runEpoch(claimed []admission.Entry) {
 			}
 		}
 		s.publishBatch(batch)
-		run := newPlanView(epoch, policy, capW, clock, batch)
+		run := newPlanView(epoch, policy, capW, domains, clock, batch)
 		run.State = "running"
 		fillPlan(&run, plan, predicted, batch)
 		s.lastPlan.Store(&run)
@@ -1136,6 +1191,17 @@ func (s *Server) runEpoch(claimed []admission.Entry) {
 	if capW > 0 {
 		s.m.capUtil.Set(float64(res.AvgPower) / float64(capW))
 	}
+	s.m.domainWatts.Set("pp0", float64(res.AvgPP0))
+	s.m.domainWatts.Set("pp1", float64(res.AvgPP1))
+	s.m.tempC.Set(res.MaxTempC)
+	s.m.throttleTotal.Add(float64(res.Throttles))
+	for _, c := range bindingConstraints {
+		v := 0.0
+		if c == res.Binding.String() {
+			v = 1
+		}
+		s.m.binding.Set(c, v)
+	}
 
 	s.traceMu.Lock()
 	s.traceMakespan.MustAdd(endClock, float64(res.Makespan))
@@ -1143,7 +1209,7 @@ func (s *Server) runEpoch(claimed []admission.Entry) {
 	s.traceBatch.MustAdd(endClock, float64(len(batch)))
 	s.traceMu.Unlock()
 
-	done := newPlanView(epoch, policy, capW, clock, batch)
+	done := newPlanView(epoch, policy, capW, domains, clock, batch)
 	done.State = "done"
 	fillPlan(&done, ep.Plan, ep.Predicted, batch)
 	done.SimulatedMakespanS = float64(res.Makespan)
@@ -1153,6 +1219,11 @@ func (s *Server) runEpoch(claimed []admission.Entry) {
 		done.CapUtilization = float64(res.AvgPower) / float64(capW)
 	}
 	done.EnergyJoules = res.EnergyJ
+	done.AvgPP0Watts = float64(res.AvgPP0)
+	done.AvgPP1Watts = float64(res.AvgPP1)
+	done.MaxTempC = res.MaxTempC
+	done.Throttles = res.Throttles
+	done.BindingConstraint = res.Binding.String()
 	done.ClockEndS = float64(endClock)
 	s.lastPlan.Store(&done)
 
@@ -1206,11 +1277,17 @@ func (s *Server) finishEpochErr(batch []Job, epoch int, err error) {
 	s.journalAppend(recs)
 }
 
-func newPlanView(epoch int, policy online.Policy, capW units.Watts, clock units.Seconds, batch []Job) PlanView {
+// bindingConstraints are the label values of corund_binding_constraint,
+// pre-registered so dashboards see zeros instead of absent series.
+var bindingConstraints = []string{"none", "pp0", "pp1", "package", "thermal"}
+
+func newPlanView(epoch int, policy online.Policy, capW units.Watts, dc apu.DomainCaps, clock units.Seconds, batch []Job) PlanView {
 	pv := PlanView{
 		Epoch:       epoch,
 		Policy:      policy.String(),
 		CapWatts:    float64(capW),
+		PP0CapWatts: float64(dc.PP0),
+		PP1CapWatts: float64(dc.PP1),
 		ClockStartS: float64(clock),
 	}
 	for i := range batch {

@@ -32,6 +32,10 @@ func (b Bias) String() string {
 type BiasedGovernor struct {
 	// Cap is the package power cap to enforce.
 	Cap units.Watts
+	// Domains are optional RAPL-style per-plane caps enforced on top
+	// of Cap: PP0 meters the CPU cores, PP1 the iGPU, and a Package
+	// entry tightens Cap. Zero planes are unenforced.
+	Domains apu.DomainCaps
 	// Bias picks the sacrificial device.
 	Bias Bias
 	// RaiseHeadroom is how far below the cap the measured power must
@@ -40,16 +44,42 @@ type BiasedGovernor struct {
 	RaiseHeadroom units.Watts
 }
 
+// packageCap returns the effective package limit: the tighter of Cap
+// and the Domains' package plane (zero = uncapped).
+func (g *BiasedGovernor) packageCap() units.Watts {
+	c := g.Cap
+	if p := g.Domains.Package; p > 0 && (c <= 0 || p < c) {
+		c = p
+	}
+	return c
+}
+
 // Adjust implements Governor.
 func (g *BiasedGovernor) Adjust(power units.Watts, view *View, cfg *apu.Config) (int, int) {
 	cf, gf := view.CPUFreq, view.GPUFreq
-	if g.Cap <= 0 {
+	pkgCap := g.packageCap()
+	if pkgCap <= 0 && g.Domains.PP0 <= 0 && g.Domains.PP1 <= 0 {
 		return cf, gf
 	}
-	if power > g.Cap {
+	// Plane overdraws first: a plane cap meters exactly one device, so
+	// the only remedy is stepping that device down — there is no
+	// cross-device trade like the package cap allows.
+	lowered := false
+	if g.Domains.PP0 > 0 && view.PP0 > g.Domains.PP0 && cf > 0 {
+		cf--
+		lowered = true
+	}
+	if g.Domains.PP1 > 0 && view.PP1 > g.Domains.PP1 && gf > 0 {
+		gf--
+		lowered = true
+	}
+	if lowered {
+		return cf, gf
+	}
+	if pkgCap > 0 && power > pkgCap {
 		return g.lower(power, cf, gf, cfg)
 	}
-	return g.raise(power, cf, gf, cfg)
+	return g.raise(power, view, cf, gf, cfg)
 }
 
 // lower steps frequencies down until the estimated power fits under the
@@ -58,6 +88,7 @@ func (g *BiasedGovernor) Adjust(power units.Watts, view *View, cfg *apu.Config) 
 // full-activity power curve, which overestimates savings slightly — the
 // residual is the small cap excursion the paper observes in Figure 9.
 func (g *BiasedGovernor) lower(power units.Watts, cf, gf int, cfg *apu.Config) (int, int) {
+	pkgCap := g.packageCap()
 	est := power
 	stepDown := func(dev apu.Device, idx int) (int, bool) {
 		if idx <= 0 {
@@ -66,7 +97,7 @@ func (g *BiasedGovernor) lower(power units.Watts, cf, gf int, cfg *apu.Config) (
 		est -= cfg.DynPower(dev, idx) - cfg.DynPower(dev, idx-1)
 		return idx - 1, true
 	}
-	for est > g.Cap {
+	for est > pkgCap {
 		var ok bool
 		if g.Bias == GPUBiased {
 			if cf, ok = stepDown(apu.CPU, cf); ok {
@@ -89,31 +120,54 @@ func (g *BiasedGovernor) lower(power units.Watts, cf, gf int, cfg *apu.Config) (
 }
 
 // raise steps frequencies up when the measured power plus the step's
-// estimated cost still fits the cap. The policy "always raises the
-// GPU's frequency if it's not the highest yet" (symmetrically for
-// CPU-biased): the non-preferred device is only considered once the
-// preferred one sits at its maximum level.
-func (g *BiasedGovernor) raise(power units.Watts, cf, gf int, cfg *apu.Config) (int, int) {
-	fits := func(delta units.Watts) bool { return power+delta+g.RaiseHeadroom <= g.Cap }
+// estimated cost still fits every cap with RaiseHeadroom to spare. The
+// policy "always raises the GPU's frequency if it's not the highest
+// yet" (symmetrically for CPU-biased): the non-preferred device is
+// only considered once the preferred one sits at its maximum level.
+func (g *BiasedGovernor) raise(power units.Watts, view *View, cf, gf int, cfg *apu.Config) (int, int) {
+	pkgCap := g.packageCap()
+	fits := func(dev apu.Device, delta units.Watts) bool {
+		h := g.RaiseHeadroom
+		if h <= 0 {
+			// The documented default: one DVFS step's estimated power
+			// of slack beyond the step itself. The raise estimate
+			// undercounts the true cost (activity scaling and the host
+			// thread ride on the raised clock), so raising whenever
+			// power+delta fit would land above the cap and be lowered
+			// right back — a raise/lower flap every governor tick.
+			h = delta
+		}
+		if pkgCap > 0 && power+delta+h > pkgCap {
+			return false
+		}
+		planeCap, planeW := g.Domains.PP0, view.PP0
+		if dev == apu.GPU {
+			planeCap, planeW = g.Domains.PP1, view.PP1
+		}
+		if planeCap > 0 && planeW+delta+h > planeCap {
+			return false
+		}
+		return true
+	}
 	if g.Bias == GPUBiased {
 		if gf < cfg.MaxFreqIndex(apu.GPU) {
-			if fits(cfg.DynPower(apu.GPU, gf+1) - cfg.DynPower(apu.GPU, gf)) {
+			if fits(apu.GPU, cfg.DynPower(apu.GPU, gf+1)-cfg.DynPower(apu.GPU, gf)) {
 				return cf, gf + 1
 			}
 			return cf, gf
 		}
-		if cf < cfg.MaxFreqIndex(apu.CPU) && fits(cfg.DynPower(apu.CPU, cf+1)-cfg.DynPower(apu.CPU, cf)) {
+		if cf < cfg.MaxFreqIndex(apu.CPU) && fits(apu.CPU, cfg.DynPower(apu.CPU, cf+1)-cfg.DynPower(apu.CPU, cf)) {
 			return cf + 1, gf
 		}
 		return cf, gf
 	}
 	if cf < cfg.MaxFreqIndex(apu.CPU) {
-		if fits(cfg.DynPower(apu.CPU, cf+1) - cfg.DynPower(apu.CPU, cf)) {
+		if fits(apu.CPU, cfg.DynPower(apu.CPU, cf+1)-cfg.DynPower(apu.CPU, cf)) {
 			return cf + 1, gf
 		}
 		return cf, gf
 	}
-	if gf < cfg.MaxFreqIndex(apu.GPU) && fits(cfg.DynPower(apu.GPU, gf+1)-cfg.DynPower(apu.GPU, gf)) {
+	if gf < cfg.MaxFreqIndex(apu.GPU) && fits(apu.GPU, cfg.DynPower(apu.GPU, gf+1)-cfg.DynPower(apu.GPU, gf)) {
 		return cf, gf + 1
 	}
 	return cf, gf

@@ -55,6 +55,13 @@ type Options struct {
 	// balancing toward graphics).
 	HardCapBias Bias
 
+	// DomainCaps are optional RAPL-style per-plane limits (PP0 cores /
+	// PP1 iGPU / package) accounted alongside PowerCap. With HardCap
+	// they are enforced within the event like the package clamp; either
+	// way per-plane violations are counted in the Result and the
+	// binding constraint reported.
+	DomainCaps apu.DomainCaps
+
 	// SampleInterval is the power-sampling period; zero defaults to 1 s.
 	SampleInterval units.Seconds
 
@@ -176,6 +183,14 @@ type View struct {
 	GPUJob  *workload.Instance
 	CPUFreq int
 	GPUFreq int
+
+	// PP0 and PP1 are the instantaneous per-plane powers of the
+	// segment that just ended (CPU cores + host thread, and iGPU), and
+	// TempC the shared-heatsink temperature — what a domain-aware
+	// governor reacts to.
+	PP0   units.Watts
+	PP1   units.Watts
+	TempC float64
 }
 
 // Dispatcher supplies jobs to idle device slots. Next returns nil when
@@ -231,6 +246,34 @@ type Result struct {
 	// largest observed excess.
 	CapViolations int
 	MaxExcess     units.Watts
+
+	// PP0 and PP1 are the interval-averaged per-plane power traces
+	// (CPU cores + host thread, and iGPU); package power minus their
+	// sum is the constant uncore/idle power.
+	PP0 *trace.Series
+	PP1 *trace.Series
+
+	// TempC samples the shared-heatsink temperature at the same
+	// cadence (instantaneous, like a thermal sensor read).
+	TempC *trace.Series
+
+	// AvgPP0 and AvgPP1 are the run-wide per-plane averages.
+	AvgPP0 units.Watts
+	AvgPP1 units.Watts
+
+	// MaxTempC is the hottest the heatsink node got; Throttles counts
+	// the T_max ceiling clamps the thermal model applied.
+	MaxTempC  float64
+	Throttles int
+
+	// DomainViolations counts samples where a configured plane cap was
+	// exceeded (the per-domain analogue of CapViolations).
+	DomainViolations int
+
+	// Binding names the constraint that bound this run: thermal if the
+	// throttle ever fired, otherwise the most heavily loaded of the
+	// configured power caps, none when unconstrained.
+	Binding apu.Constraint
 }
 
 // CompletionOf returns the completion record of the given instance, or
@@ -283,6 +326,17 @@ type state struct {
 	cpuFreq int
 	gpuFreq int
 
+	// split is the per-plane breakdown of the current segment's power;
+	// tempC the shared-heatsink temperature (thermal RC model).
+	split apu.PowerSplit
+	tempC float64
+
+	// cpuCeil and gpuCeil are the effective frequency ceilings the
+	// thermal throttle clamps down when tempC trips T_max; setFreqs
+	// never exceeds them.
+	cpuCeil int
+	gpuCeil int
+
 	// scratch backs the *View handed to dispatchers and governors.
 	// view() is called every sample tick, so reusing one View (and its
 	// CPUJobs array) keeps the hot loop allocation-free; the View doc
@@ -293,6 +347,7 @@ type state struct {
 func (st *state) view() *View {
 	v := &st.scratch
 	v.Now, v.CPUFreq, v.GPUFreq = st.now, st.cpuFreq, st.gpuFreq
+	v.PP0, v.PP1, v.TempC = st.split.PP0, st.split.PP1, st.tempC
 	v.CPUJobs = v.CPUJobs[:0]
 	for _, r := range st.cpuJobs {
 		v.CPUJobs = append(v.CPUJobs, r.inst)
@@ -318,16 +373,26 @@ func Run(opts Options, disp Dispatcher) (*Result, error) {
 		opts:    o,
 		cpuFreq: o.InitCPUFreq.index(o.Cfg, apu.CPU),
 		gpuFreq: o.InitGPUFreq.index(o.Cfg, apu.GPU),
+		tempC:   o.Cfg.Thermal.AmbientC,
+		cpuCeil: o.Cfg.MaxFreqIndex(apu.CPU),
+		gpuCeil: o.Cfg.MaxFreqIndex(apu.GPU),
 	}
 	res := &Result{
-		Power:   trace.NewSeries("package_power", "w"),
-		CPUFreq: trace.NewSeries("cpu_freq", "ghz"),
-		GPUFreq: trace.NewSeries("gpu_freq", "ghz"),
+		Power:    trace.NewSeries("package_power", "w"),
+		CPUFreq:  trace.NewSeries("cpu_freq", "ghz"),
+		GPUFreq:  trace.NewSeries("gpu_freq", "ghz"),
+		PP0:      trace.NewSeries("pp0_power", "w"),
+		PP1:      trace.NewSeries("pp1_power", "w"),
+		TempC:    trace.NewSeries("temp", "c"),
+		MaxTempC: o.Cfg.Thermal.AmbientC,
 	}
+	thermal := o.Cfg.Thermal
 
 	nextSample := o.SampleInterval
 	nextGov := o.GovernorInterval
 	intervalEnergy := 0.0
+	intervalPP0E, intervalPP1E := 0.0, 0.0
+	pp0E, pp1E := 0.0, 0.0
 	intervalStart := units.Seconds(0)
 	stopped := false
 
@@ -372,6 +437,35 @@ func Run(opts Options, disp Dispatcher) (*Result, error) {
 				power = st.packagePower(cpuUtil, gpuUtil)
 			}
 		}
+		st.split = st.splitPower(cpuUtil, gpuUtil)
+
+		// Per-plane hardware clamp: a plane cap meters one device, so
+		// the clamp steps that device down; a package entry in the
+		// domain caps trades per HardCapBias like the package cap.
+		if o.HardCap && o.DomainCaps.Any() {
+		domainClamp:
+			for !o.DomainCaps.Allows(st.split) {
+				switch {
+				case o.DomainCaps.PP0 > 0 && st.split.PP0 > o.DomainCaps.PP0 && st.cpuFreq > 0:
+					st.cpuFreq--
+				case o.DomainCaps.PP1 > 0 && st.split.PP1 > o.DomainCaps.PP1 && st.gpuFreq > 0:
+					st.gpuFreq--
+				case o.DomainCaps.Package > 0 && st.split.Package() > o.DomainCaps.Package &&
+					(st.cpuFreq > 0 || st.gpuFreq > 0):
+					if (o.HardCapBias == GPUBiased && st.cpuFreq > 0) || st.gpuFreq == 0 {
+						st.cpuFreq--
+					} else {
+						st.gpuFreq--
+					}
+				default:
+					// Every offending plane is at its floor already.
+					break domainClamp
+				}
+				cpuUtil, gpuUtil = st.computeRates()
+				power = st.packagePower(cpuUtil, gpuUtil)
+				st.split = st.splitPower(cpuUtil, gpuUtil)
+			}
+		}
 
 		// Earliest event.
 		dt := float64(nextSample - st.now)
@@ -406,11 +500,51 @@ func Run(opts Options, disp Dispatcher) (*Result, error) {
 		e := float64(power) * dt
 		res.EnergyJ += e
 		intervalEnergy += e
+		intervalPP0E += float64(st.split.PP0) * dt
+		intervalPP1E += float64(st.split.PP1) * dt
+		pp0E += float64(st.split.PP0) * dt
+		pp1E += float64(st.split.PP1) * dt
 		for _, r := range st.cpuJobs {
 			r.remaining -= r.rate * dt
 		}
 		if st.gpuJob != nil {
 			st.gpuJob.remaining -= st.gpuJob.rate * dt
+		}
+
+		// Thermal RC step over the segment, then the T_max throttle:
+		// at or above the trip point the effective frequency ceilings
+		// ratchet down one level (and the live frequencies are clamped
+		// under them); once the node cools below TMaxC - HysteresisC
+		// the ceilings step back toward the hardware maxima.
+		if thermal.Enabled() {
+			st.tempC = thermal.Step(st.tempC, power, units.Seconds(dt))
+			if st.tempC > res.MaxTempC {
+				res.MaxTempC = st.tempC
+			}
+			if st.tempC >= thermal.TMaxC-eps {
+				if st.cpuCeil > 0 || st.gpuCeil > 0 {
+					if st.cpuCeil > 0 {
+						st.cpuCeil--
+					}
+					if st.gpuCeil > 0 {
+						st.gpuCeil--
+					}
+					res.Throttles++
+				}
+				if st.cpuFreq > st.cpuCeil {
+					st.cpuFreq = st.cpuCeil
+				}
+				if st.gpuFreq > st.gpuCeil {
+					st.gpuFreq = st.gpuCeil
+				}
+			} else if st.tempC < thermal.TMaxC-thermal.HysteresisC {
+				if st.cpuCeil < o.Cfg.MaxFreqIndex(apu.CPU) {
+					st.cpuCeil++
+				}
+				if st.gpuCeil < o.Cfg.MaxFreqIndex(apu.GPU) {
+					st.gpuCeil++
+				}
+			}
 		}
 
 		// Phase/job completions.
@@ -444,19 +578,31 @@ func Run(opts Options, disp Dispatcher) (*Result, error) {
 		if st.now >= nextSample-units.Seconds(eps) {
 			span := float64(st.now - intervalStart)
 			avg := float64(power)
+			avgPP0, avgPP1 := float64(st.split.PP0), float64(st.split.PP1)
 			if span > eps {
 				avg = intervalEnergy / span
+				avgPP0 = intervalPP0E / span
+				avgPP1 = intervalPP1E / span
 			}
 			res.Power.MustAdd(st.now, avg)
 			res.CPUFreq.MustAdd(st.now, float64(o.Cfg.Freq(apu.CPU, st.cpuFreq)))
 			res.GPUFreq.MustAdd(st.now, float64(o.Cfg.Freq(apu.GPU, st.gpuFreq)))
+			res.PP0.MustAdd(st.now, avgPP0)
+			res.PP1.MustAdd(st.now, avgPP1)
+			res.TempC.MustAdd(st.now, st.tempC)
 			if o.PowerCap > 0 && units.Watts(avg) > o.PowerCap {
 				res.CapViolations++
 				if ex := units.Watts(avg) - o.PowerCap; ex > res.MaxExcess {
 					res.MaxExcess = ex
 				}
 			}
+			if o.DomainCaps.Any() && !o.DomainCaps.Allows(apu.PowerSplit{
+				PP0: units.Watts(avgPP0), PP1: units.Watts(avgPP1), Uncore: o.Cfg.IdlePower,
+			}) {
+				res.DomainViolations++
+			}
 			intervalEnergy = 0
+			intervalPP0E, intervalPP1E = 0, 0
 			intervalStart = st.now
 			nextSample += o.SampleInterval
 		}
@@ -471,8 +617,22 @@ func Run(opts Options, disp Dispatcher) (*Result, error) {
 	res.Makespan = st.now
 	if res.Makespan > 0 {
 		res.AvgPower = units.Watts(res.EnergyJ / float64(res.Makespan))
+		res.AvgPP0 = units.Watts(pp0E / float64(res.Makespan))
+		res.AvgPP1 = units.Watts(pp1E / float64(res.Makespan))
 	}
 	res.MaxSample = units.Watts(res.Power.Max())
+
+	// Which constraint bound the run: the thermal throttle if it ever
+	// fired, else the most heavily loaded configured power cap.
+	if res.Throttles > 0 {
+		res.Binding = apu.ConstraintThermal
+	} else if caps := o.DomainCaps.WithPackage(o.PowerCap); caps.Any() {
+		res.Binding, _ = caps.Binding(apu.PowerSplit{
+			PP0:    res.AvgPP0,
+			PP1:    res.AvgPP1,
+			Uncore: units.Watts(float64(res.AvgPower) - float64(res.AvgPP0) - float64(res.AvgPP1)),
+		})
+	}
 	return res, nil
 }
 
@@ -509,9 +669,15 @@ func (st *state) applyDispatch(d *Dispatch, dev apu.Device) {
 
 func (st *state) setFreqs(cf, gf int) {
 	if cf >= 0 && cf < st.opts.Cfg.NumFreqs(apu.CPU) {
+		if cf > st.cpuCeil {
+			cf = st.cpuCeil // thermal throttle ceiling
+		}
 		st.cpuFreq = cf
 	}
 	if gf >= 0 && gf < st.opts.Cfg.NumFreqs(apu.GPU) {
+		if gf > st.gpuCeil {
+			gf = st.gpuCeil
+		}
 		st.gpuFreq = gf
 	}
 }
@@ -603,6 +769,12 @@ func (st *state) computeRates() (cpuUtil, gpuUtil float64) {
 
 func (st *state) packagePower(cpuUtil, gpuUtil float64) units.Watts {
 	return st.opts.Cfg.PackagePower(st.cpuFreq, st.gpuFreq, cpuUtil, gpuUtil, st.gpuJob != nil)
+}
+
+// splitPower is packagePower broken down by plane (same inputs, same
+// arithmetic per term — the sum matches up to float association).
+func (st *state) splitPower(cpuUtil, gpuUtil float64) apu.PowerSplit {
+	return st.opts.Cfg.SplitPower(st.cpuFreq, st.gpuFreq, cpuUtil, gpuUtil, st.gpuJob != nil)
 }
 
 // eta returns the time for the job to finish its current phase.
